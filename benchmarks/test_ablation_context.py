@@ -1,0 +1,94 @@
+"""Ablation — context abstractions (§3.3's claim).
+
+Sweeps insensitive / k-CFA / k-obj / hybrid / action-sensitive pointer
+analysis over a factory-heavy synthetic app and over three paper apps, and
+reports racy-pair counts per abstraction. Action sensitivity must dominate
+(fewest pairs), and the k-bounded classical abstractions must show the §3.3
+merging loss on deep allocation chains.
+"""
+
+from conftest import print_table
+
+from repro.core import Sierra, SierraOptions
+from repro.corpus import SynthSpec, synthesize_app, twenty_app_specs
+
+SELECTORS = ("insensitive", "kcfa", "kobj", "hybrid", "action")
+
+
+def factory_heavy_spec():
+    return SynthSpec(
+        name="factory-heavy",
+        seed=11,
+        activities=3,
+        evrace=1,
+        bgrace=1,
+        guard=1,
+        nullguard=0,
+        ordered=1,
+        factory=6,
+        implicit=0,
+        receivers=0,
+        services=0,
+        extra_gui=2,
+    )
+
+
+def sweep(apk):
+    counts = {}
+    for name in SELECTORS:
+        result = Sierra(SierraOptions(selector=name, refute=False)).analyze(apk)
+        counts[name] = result.report.racy_pairs
+    return counts
+
+
+def test_context_ablation(benchmark):
+    def run():
+        rows = []
+        apk, _ = synthesize_app(factory_heavy_spec())
+        counts = sweep(apk)
+        rows.append({"App": "factory-heavy", **counts})
+        for spec in twenty_app_specs()[:3]:
+            apk, _ = synthesize_app(spec)
+            counts = sweep(apk)
+            rows.append({"App": spec.name, **counts})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation — racy pairs per context abstraction (refutation off)",
+        rows,
+        "paper §3.3: action-sensitivity removes cross-action aliasing that "
+        "defeats k-bounded abstractions (431 → 80.5 median in Table 3)",
+    )
+    for row in rows:
+        # action sensitivity is never worse than any classical abstraction
+        assert row["action"] <= min(
+            row["insensitive"], row["kcfa"], row["kobj"], row["hybrid"]
+        ), row
+    # and on the factory-heavy app it is strictly better
+    heavy = rows[0]
+    assert heavy["action"] < heavy["hybrid"], heavy
+
+
+def test_k_sweep(benchmark):
+    """Raising k narrows the gap but cannot close it (the paper's point:
+    precision via longer contexts costs exponentially, action ids do not)."""
+
+    def run():
+        apk, _ = synthesize_app(factory_heavy_spec())
+        rows = []
+        for k in (1, 2, 3):
+            hybrid = Sierra(SierraOptions(selector="hybrid", k=k, refute=False)).analyze(apk)
+            action = Sierra(SierraOptions(selector="action", k=k, refute=False)).analyze(apk)
+            rows.append(
+                {"k": k, "hybrid": hybrid.report.racy_pairs, "action": action.report.racy_pairs}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation — k sweep (factory-heavy app)", rows)
+    for row in rows:
+        assert row["action"] <= row["hybrid"]
+    # deeper k helps the classical abstraction monotonically
+    hybrid_counts = [row["hybrid"] for row in rows]
+    assert hybrid_counts[0] >= hybrid_counts[-1]

@@ -1,0 +1,56 @@
+"""Figure 2 — the inter-component race (Activity lifecycle vs BroadcastReceiver).
+
+The receiver's ``onReceive`` must race with ``onStop`` on the database state
+(the update-on-closed-database crash) and with ``onDestroy`` on the ``mDB``
+pointer (NPE), while registration (rule 1) orders it *after* ``onCreate``.
+"""
+
+from conftest import print_table
+
+from repro.core import Sierra, SierraOptions
+from repro.core.actions import ActionKind
+from repro.corpus import build_receiver_app
+
+
+def test_fig2_inter_component_race(benchmark):
+    result = benchmark.pedantic(
+        lambda: Sierra(SierraOptions()).analyze(build_receiver_app()),
+        rounds=1,
+        iterations=1,
+    )
+    acts = {a.id: a for a in result.extraction.actions}
+
+    rows = [
+        {
+            "Field": p.field_name,
+            "Kind": p.kind,
+            "Action 1": acts[p.actions[0]].label,
+            "Action 2": acts[p.actions[1]].label,
+        }
+        for p in result.surviving
+    ]
+    print_table("Figure 2 — inter-component races detected", rows)
+
+    fields = {p.field_name for p in result.surviving}
+    assert "isOpen" in fields, "onReceive vs onStop on the database state"
+    assert "mDB" in fields, "onReceive vs onDestroy on the pointer"
+
+    # cross-component: the figure's two races each involve the receiver
+    # (lifecycle-vs-lifecycle extras like onStart"2" vs onDestroy may also
+    # surface — they are real lifecycle races, not part of Figure 2)
+    for field in ("isOpen", "mDB"):
+        assert any(
+            p.field_name == field
+            and ActionKind.SYSTEM in {acts[i].kind for i in p.actions}
+            for p in result.surviving
+        ), field
+
+    # rule 1: registering action precedes the receiver's events
+    shbg = result.shbg
+    create = next(a for a in result.extraction.actions if a.callback == "onCreate")
+    receive = next(a for a in result.extraction.actions if a.callback == "onReceive")
+    assert shbg.ordered(create.id, receive.id)
+
+    # the pointer race is ranked as an NPE risk
+    by_field = {r.field_name: r for r in result.report.reports}
+    assert by_field["mDB"].pointer_race

@@ -1,0 +1,70 @@
+"""Figure 5 — lifecycle HB edges from harness-CFG dominance.
+
+Regenerates the figure's derived edges, including the pre-dominator split
+that distinguishes onResume"1" (after onStart) from onResume"2" (after
+onPause), and the deliberately *unorderable* pairs.
+"""
+
+from conftest import print_table
+
+from repro.android import Apk, Manifest, install_framework
+from repro.android.lifecycle import EXPECTED_LIFECYCLE_HB, EXPECTED_LIFECYCLE_UNORDERED, instance_label
+from repro.core import Sierra, SierraOptions
+from repro.core.actions import ActionKind
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import INT
+
+
+def lifecycle_apk():
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("f", INT)
+    for cb in ("onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart", "onDestroy"):
+        m = act.method(cb)
+        m.load("v", "this", "f")
+        m.ret()
+    apk = Apk("lifecycle", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+def test_fig5_lifecycle_edges(benchmark):
+    result = benchmark.pedantic(
+        lambda: Sierra(SierraOptions()).analyze(lifecycle_apk()),
+        rounds=1,
+        iterations=1,
+    )
+    ext, shbg = result.extraction, result.shbg
+
+    def action_of(cb, instance):
+        return next(
+            a
+            for a in ext.actions
+            if a.kind is ActionKind.LIFECYCLE
+            and a.callback == cb
+            and a.instance == instance
+        )
+
+    rows = []
+    for (cb1, i1), (cb2, i2) in EXPECTED_LIFECYCLE_HB:
+        a1, a2 = action_of(cb1, i1), action_of(cb2, i2)
+        ordered = shbg.ordered(a1.id, a2.id)
+        rows.append(
+            {
+                "Edge": f"{instance_label(cb1, i1)} ≺ {instance_label(cb2, i2)}",
+                "Derived": "yes" if ordered else "MISSING",
+            }
+        )
+        assert ordered
+    for (cb1, i1), (cb2, i2) in EXPECTED_LIFECYCLE_UNORDERED:
+        a1, a2 = action_of(cb1, i1), action_of(cb2, i2)
+        unordered = not shbg.comparable(a1.id, a2.id)
+        rows.append(
+            {
+                "Edge": f"{instance_label(cb1, i1)} ∥ {instance_label(cb2, i2)} (unordered)",
+                "Derived": "yes" if unordered else "WRONGLY ORDERED",
+            }
+        )
+        assert unordered
+    print_table("Figure 5 — lifecycle HB edges (dominance-derived)", rows)

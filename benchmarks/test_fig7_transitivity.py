@@ -1,0 +1,76 @@
+"""Figure 7 — inter-action transitivity (HB rule 6).
+
+A1 ≺ A2 (lifecycle), A1 posts A3, A2 posts A4, all on the main looper:
+looper FIFO implies A3 ≺ A4. Also the negative cases — delayed posts and
+background targets — where the FIFO argument breaks and no edge may be
+added.
+"""
+
+from conftest import print_table
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.core.actions import ActionKind
+from repro.ir.builder import ProgramBuilder
+
+
+def posting_apk(delayed=False):
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    for n in (3, 4):
+        r = pb.new_class(f"t.R{n}", interfaces=("java.lang.Runnable",))
+        r.field("owner", "t.A")
+        rm = r.method("run")
+        rm.load("o", "this", "owner")
+        rm.ret()
+    post_api = "postDelayed" if delayed else "post"
+    oc = act.method("onCreate")  # A1
+    oc.new("h", "android.os.Handler")
+    oc.new("r3", "t.R3")
+    oc.store("r3", "owner", "this")
+    oc.call("h", post_api, "r3")  # posts A3
+    oc.ret()
+    os_ = act.method("onStart")  # A2
+    os_.new("h", "android.os.Handler")
+    os_.new("r4", "t.R4")
+    os_.store("r4", "owner", "this")
+    os_.call("h", post_api, "r4")  # posts A4
+    os_.ret()
+    apk = Apk("fig7", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+def runs_of(result):
+    out = {}
+    for a in result.extraction.actions:
+        if a.kind is ActionKind.MESSAGE:
+            out[a.entry_method.class_name] = a
+    return out
+
+
+def test_fig7_rule6(benchmark):
+    result = benchmark.pedantic(
+        lambda: Sierra(SierraOptions()).analyze(posting_apk()), rounds=1, iterations=1
+    )
+    shbg = result.shbg
+    runs = runs_of(result)
+    a3, a4 = runs["t.R3"], runs["t.R4"]
+    derived = shbg.ordered(a3.id, a4.id)
+
+    # negative control: with postDelayed the FIFO argument is void
+    delayed_result = Sierra(SierraOptions()).analyze(posting_apk(delayed=True))
+    druns = runs_of(delayed_result)
+    delayed_edge = delayed_result.shbg.comparable(
+        druns["t.R3"].id, druns["t.R4"].id
+    )
+
+    rows = [
+        {"Scenario": "post() via ordered actions (Figure 7)", "A3 ≺ A4": "yes" if derived else "MISSING"},
+        {"Scenario": "postDelayed() (FIFO void)", "A3 ≺ A4": "correctly absent" if not delayed_edge else "WRONGLY ADDED"},
+    ]
+    print_table("Figure 7 — inter-action transitivity", rows)
+    assert derived
+    assert not delayed_edge
+    assert "R6-transitivity" in result.shbg.edges_by_rule()

@@ -1,0 +1,81 @@
+"""Table 3 — SIERRA effectiveness on the 20-app dataset.
+
+Regenerates every column: harnesses, actions, HB edges, ordered fraction,
+racy pairs without/with action sensitivity, reports after refutation,
+true races / false positives (scored against the generator's ground truth —
+the stand-in for the paper's manual inspection), and the EventRacer
+comparison column.
+
+Shape assertions (DESIGN.md):
+  * action sensitivity cuts racy pairs by a large factor (paper ≈ 5.4×),
+  * refutation removes a substantial further share (paper ≈ 59%),
+  * SIERRA finds several times more true races than EventRacer (paper 29.5
+    vs 4), with few false positives.
+"""
+
+from conftest import print_table
+
+from repro.core import median
+from repro.corpus import TWENTY_PAPER_MEDIANS
+
+
+def test_table3_effectiveness(benchmark, twenty_runs):
+    def run():
+        rows = []
+        for r in twenty_runs:
+            rep = r.report
+            true_n, fp_n = r.true_and_fp()
+            rows.append(
+                {
+                    "App": r.spec.name,
+                    "Harnesses": rep.harnesses,
+                    "Actions": rep.actions,
+                    "HB Edges": rep.hb_edges,
+                    "Ordered (%)": round(100 * rep.ordered_fraction, 1),
+                    "Racy w/o AS": rep.racy_pairs_no_as,
+                    "Racy with AS": rep.racy_pairs,
+                    "After refut.": rep.races_after_refutation,
+                    "True": true_n,
+                    "FP": fp_n,
+                    "EventRacer": r.eventracer.distinct_field_count(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 3 — SIERRA effectiveness (20-app synthetic dataset)", rows)
+
+    med = {
+        key: median([float(row[key]) for row in rows])
+        for key in rows[0]
+        if key != "App"
+    }
+    paper = TWENTY_PAPER_MEDIANS
+    print(
+        "\nmedians   measured | paper: "
+        f"harnesses {med['Harnesses']:.1f}|{paper['harnesses']}, "
+        f"actions {med['Actions']:.1f}|{paper['actions']}, "
+        f"hb {med['HB Edges']:.0f}|{paper['hb_edges']}, "
+        f"ordered% {med['Ordered (%)']:.1f}|{paper['ordered_pct']}, "
+        f"noAS {med['Racy w/o AS']:.1f}|{paper['racy_no_as']}, "
+        f"AS {med['Racy with AS']:.1f}|{paper['racy_with_as']}, "
+        f"after {med['After refut.']:.1f}|{paper['after_refutation']}, "
+        f"true {med['True']:.1f}|{paper['true_races']}, "
+        f"fp {med['FP']:.1f}|{paper['false_positives']}, "
+        f"eventracer {med['EventRacer']:.1f}|{paper['eventracer']}"
+    )
+
+    # --- shape assertions -------------------------------------------------
+    as_reduction = med["Racy w/o AS"] / max(1.0, med["Racy with AS"])
+    print(f"action-sensitivity reduction: {as_reduction:.2f}x (paper 5.35x)")
+    assert as_reduction >= 2.0, "AS must cut racy pairs by a large factor"
+
+    refuted_share = 1 - med["After refut."] / max(1.0, med["Racy with AS"])
+    print(f"refutation share: {refuted_share:.0%} (paper 59%)")
+    assert refuted_share >= 0.25
+
+    static_vs_dynamic = med["True"] / max(1.0, med["EventRacer"])
+    print(f"static/dynamic true-race ratio: {static_vs_dynamic:.1f}x (paper 7.4x)")
+    assert static_vs_dynamic >= 2.0
+
+    assert med["FP"] <= med["True"], "reports must be mostly true races"

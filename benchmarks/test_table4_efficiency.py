@@ -1,0 +1,46 @@
+"""Table 4 — per-stage running time (CG+PA / HBG / Refutation / Total).
+
+Absolute seconds are incomparable (the paper ran WALA+Z3 on real APKs on a
+Xeon; we run a Python analysis over synthetic stand-ins), so the
+reproduction target is the *stage cost structure*: HBG construction is a
+small slice, while call-graph+points-to and refutation dominate (paper
+medians 1310 / 28.5 / 560.5 s).
+"""
+
+from conftest import print_table
+
+from repro.core import median
+from repro.corpus import TWENTY_PAPER_MEDIANS
+
+
+def test_table4_efficiency(benchmark, twenty_runs):
+    def run():
+        return [r.report.table4_row() for r in twenty_runs]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row, r in zip(rows, twenty_runs):
+        row["Paper CG"] = r.paper.t_cg
+        row["Paper HBG"] = r.paper.t_hbg
+        row["Paper Refut."] = r.paper.t_refutation
+    print_table("Table 4 — stage timings (seconds; measured vs paper)", rows)
+
+    med_cg = median([row["CG+PA"] for row in rows])
+    med_hbg = median([row["HBG"] for row in rows])
+    med_ref = median([row["Refutation"] for row in rows])
+    med_total = median([row["Total"] for row in rows])
+    paper = TWENTY_PAPER_MEDIANS
+    print(
+        f"\nstage medians measured: CG+PA {med_cg:.3f}s, HBG {med_hbg:.3f}s, "
+        f"refutation {med_ref:.3f}s, total {med_total:.3f}s"
+    )
+    print(
+        f"stage medians paper   : CG+PA {paper['t_cg']}s, HBG {paper['t_hbg']}s, "
+        f"refutation {paper['t_refutation']}s, total {paper['t_total']}s"
+    )
+
+    # shape: HBG is the cheap stage, CG+PA carries the bulk of the cost
+    assert med_hbg < med_cg, "HBG must be cheaper than call-graph+points-to"
+    assert med_hbg < med_total * 0.5
+    # every app's stages must sum to its total
+    for row in rows:
+        assert abs(row["Total"] - (row["CG+PA"] + row["HBG"] + row["Refutation"])) < 0.02

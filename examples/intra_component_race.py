@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Figure 1's intra-component race, end to end.
+
+A NewsActivity wires a RecycleView to an adapter; clicking starts a
+LoaderTask (AsyncTask) whose background stage updates the adapter while the
+user can scroll — the AOSP bug the paper opens with. This example builds the
+app, shows the derived actions and HB edges, and prints the detector's
+findings, then contrasts them with a short dynamic (EventRacer-style) run.
+
+Run:  python examples/intra_component_race.py
+"""
+
+from repro import Sierra, SierraOptions
+from repro.corpus import build_newsreader_app
+from repro.dynamic import run_eventracer
+
+
+def main() -> None:
+    apk = build_newsreader_app()
+    result = Sierra(SierraOptions()).analyze(apk)
+
+    print("=== actions (SHBG nodes) ===")
+    for action in result.extraction.actions:
+        print(f"  {action.describe()}")
+
+    print("\n=== direct HB edges, by rule ===")
+    actions = {a.id: a for a in result.extraction.actions}
+    for edge in result.shbg.direct_edges:
+        print(f"  {actions[edge.src].label} ≺ {actions[edge.dst].label}   [{edge.rule}]")
+
+    print("\n=== races (after refutation) ===")
+    for race in result.report.reports:
+        print(f"  {race.describe()}")
+
+    fields = {p.field_name for p in result.surviving}
+    assert "data" in fields, "background adapter update vs scroll"
+    assert "cachedCount" in fields, "notifyDataSetChanged vs scroll"
+
+    # the same app under a short dynamic exploration: schedule-dependent
+    print("\n=== dynamic baseline (EventRacer-style) ===")
+    for schedules in (1, 5):
+        report = run_eventracer(apk, schedules=schedules, max_events=30)
+        print(
+            f"  {schedules} schedule(s): {report.distinct_field_count()} racy "
+            f"fields observed (static found {len(fields)})"
+        )
+
+    print("\nOK: Figure 1's race is reported statically, unconditionally.")
+
+
+if __name__ == "__main__":
+    main()

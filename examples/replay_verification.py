@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Combining static detection with replay verification (§6.4's proposal).
+
+SIERRA over-approximates actual races; the paper suggests verifying its
+candidates with deterministic replay. This example runs the static detector
+on a synthetic app, then replays schedules hunting for each surviving race's
+two orders, classifying races as *harmful* (orders diverge: different final
+state or one order crashes) or *benign* (orders commute) — echoing §6.5's
+finding that most true races are benign guard idioms.
+
+Run:  python examples/replay_verification.py
+"""
+
+from repro import Sierra, SierraOptions
+from repro.corpus import SynthSpec, synthesize_app
+from repro.dynamic import verify_candidates
+
+
+def main() -> None:
+    spec = SynthSpec(
+        name="replay-demo",
+        seed=7,
+        activities=2,
+        evrace=2,
+        bgrace=1,
+        guard=2,
+        nullguard=1,
+        ordered=1,
+        factory=0,
+        implicit=0,
+        receivers=1,
+        services=0,
+        extra_gui=1,
+    )
+    apk, _truth = synthesize_app(spec)
+
+    static = Sierra(SierraOptions()).analyze(apk)
+    print(f"static reports: {static.report.races_after_refutation}")
+
+    report = verify_candidates(apk, static, schedules=40, max_events=80)
+    for verdict in report.verdicts:
+        line = f"  {verdict.describe()}"
+        if verdict.order_ab and verdict.order_ba:
+            line += (
+                f"  [A→B leaves {verdict.order_ab.final_value!r}, "
+                f"B→A leaves {verdict.order_ba.final_value!r}]"
+            )
+        print(line)
+
+    counts = report.counts()
+    print(f"\nverified: {counts['harmful']} harmful, {counts['benign']} benign, "
+          f"{counts['unconfirmed']} unconfirmed (coverage-limited)")
+    assert counts["harmful"] >= 1, "the unguarded event races are lost updates"
+    print("\nOK: static candidates triaged by replay, as §6.4 proposes.")
+
+
+if __name__ == "__main__":
+    main()

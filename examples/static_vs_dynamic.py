@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""SIERRA vs an EventRacer-style dynamic detector (§6.4's comparison).
+
+Generates a synthetic app with ground-truth race labels, runs both
+detectors, and scores them: the static detector sees every schedule at
+once; the dynamic detector only what its explored schedules execute — and
+it cannot see through pointer guards (its main false-positive source).
+
+Run:  python examples/static_vs_dynamic.py
+"""
+
+from repro import Sierra, SierraOptions
+from repro.corpus import SynthSpec, classify_report_field, synthesize_app
+from repro.dynamic import run_eventracer
+
+
+def main() -> None:
+    spec = SynthSpec(
+        name="comparison-app",
+        seed=2024,
+        activities=4,
+        evrace=3,
+        bgrace=2,
+        guard=2,
+        nullguard=1,
+        ordered=2,
+        factory=2,
+        implicit=1,
+        receivers=1,
+        services=1,
+        extra_gui=4,
+    )
+    apk, truth = synthesize_app(spec)
+    print(f"app: {apk.name} — seeded ground truth: {truth.seeded}")
+
+    static = Sierra(SierraOptions()).analyze(apk)
+    static_true = sum(
+        1
+        for r in static.report.reports
+        if classify_report_field(r.field_name) == "true"
+    )
+    print(f"\nSIERRA    : {static.report.races_after_refutation} reports "
+          f"({static_true} true, "
+          f"{static.report.races_after_refutation - static_true} FP by ground truth)")
+
+    for schedules, events in ((1, 20), (3, 40), (8, 80)):
+        dynamic = run_eventracer(apk, schedules=schedules, max_events=events)
+        true_fields = sum(
+            1
+            for race in dynamic.races
+            if classify_report_field(race.field_name) == "true"
+        )
+        print(f"EventRacer: {dynamic.race_count} reports with "
+              f"{schedules} schedules x {events} events "
+              f"({true_fields} on true-race fields, "
+              f"{dynamic.pointer_guarded_count()} pointer-guard FP-risk, "
+              f"{dynamic.filtered_by_coverage} filtered by race coverage)")
+
+    dynamic = run_eventracer(apk, schedules=3, max_events=40)
+    assert static_true > dynamic.distinct_field_count(), (
+        "the static detector must find more true races than the bounded "
+        "dynamic exploration"
+    )
+    print("\nOK: the precise static approach dominates the dynamic baseline, "
+          "as in the paper (29.5 vs 4 true races per app).")
+
+
+if __name__ == "__main__":
+    main()

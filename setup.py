@@ -1,0 +1,16 @@
+"""Setup entry point (metadata lives in setup.cfg).
+
+Install editable with ``pip install -e .`` on normal machines. Fully offline
+environments that lack the ``wheel`` package cannot run pip's PEP 660
+editable build (it fails with ``invalid command 'bdist_wheel'``); there, use
+the equivalent
+
+    python setup.py develop
+
+which needs only setuptools. Both paths register the ``src/repro`` tree
+importable in place.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""SIERRA reproduction: static detection of event-based races in Android apps.
+
+Public API tour
+---------------
+
+Build or load an app::
+
+    from repro.corpus import build_newsreader_app
+    apk = build_newsreader_app()
+
+Run the detector::
+
+    from repro import Sierra, SierraOptions
+    result = Sierra(SierraOptions(compare_without_as=True)).analyze(apk)
+    for report in result.report.reports:
+        print(report.describe())
+
+Compare against the dynamic baseline::
+
+    from repro.dynamic import run_eventracer
+    print(run_eventracer(apk).race_count)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.detector import Sierra, SierraOptions, SierraResult, analyze_apk
+from repro.core.report import RaceReport, SierraReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RaceReport",
+    "Sierra",
+    "SierraOptions",
+    "SierraReport",
+    "SierraResult",
+    "analyze_apk",
+    "__version__",
+]

@@ -1,0 +1,76 @@
+"""The Android Framework model: components, lifecycle, views, threading.
+
+Substitutes for the real AF + DroidEL front-end (see DESIGN.md). Everything
+SIERRA's HB rules depend on — the lifecycle state machine, looper semantics,
+listener registration APIs, layout inflation — is modeled here.
+"""
+
+from repro.android.apk import Apk, ApkMetadata
+from repro.android.framework import (
+    ACTIVITY_LIFECYCLE_CALLBACKS,
+    ASYNC_EXECUTE_APIS,
+    CALLBACK_METHODS,
+    CallbackKind,
+    EXECUTOR_APIS,
+    GUI_CALLBACKS,
+    LISTENER_REGISTRATIONS,
+    POST_APIS,
+    SEND_APIS,
+    SERVICE_LIFECYCLE_CALLBACKS,
+    SYSTEM_CALLBACKS,
+    TASK_CALLBACKS,
+    THREAD_START_APIS,
+    UI_POST_APIS,
+    framework_entry_callbacks,
+    install_framework,
+    is_framework_class,
+)
+from repro.android.layout import Layout, LayoutRegistry, ViewDecl
+from repro.android.lifecycle import (
+    ACTIVITY_TRANSITIONS,
+    EXPECTED_LIFECYCLE_HB,
+    EXPECTED_LIFECYCLE_UNORDERED,
+    LifecycleState,
+    LifecycleTransition,
+    instance_label,
+    lifecycle_callbacks_of,
+    lifecycle_state_graph,
+)
+from repro.android.manifest import ActivityDecl, Manifest, ReceiverDecl, ServiceDecl
+
+__all__ = [
+    "ACTIVITY_LIFECYCLE_CALLBACKS",
+    "ACTIVITY_TRANSITIONS",
+    "ASYNC_EXECUTE_APIS",
+    "ActivityDecl",
+    "Apk",
+    "ApkMetadata",
+    "CALLBACK_METHODS",
+    "CallbackKind",
+    "EXECUTOR_APIS",
+    "EXPECTED_LIFECYCLE_HB",
+    "EXPECTED_LIFECYCLE_UNORDERED",
+    "GUI_CALLBACKS",
+    "LISTENER_REGISTRATIONS",
+    "Layout",
+    "LayoutRegistry",
+    "LifecycleState",
+    "LifecycleTransition",
+    "Manifest",
+    "POST_APIS",
+    "ReceiverDecl",
+    "SEND_APIS",
+    "SERVICE_LIFECYCLE_CALLBACKS",
+    "SYSTEM_CALLBACKS",
+    "ServiceDecl",
+    "TASK_CALLBACKS",
+    "THREAD_START_APIS",
+    "UI_POST_APIS",
+    "ViewDecl",
+    "framework_entry_callbacks",
+    "install_framework",
+    "instance_label",
+    "is_framework_class",
+    "lifecycle_callbacks_of",
+    "lifecycle_state_graph",
+]

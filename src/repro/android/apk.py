@@ -1,0 +1,77 @@
+"""The APK container: program + manifest + layouts + metadata.
+
+This is the unit SIERRA consumes ("apps can be readily analyzed in the APK
+format they are distributed in"). An :class:`Apk` bundles the IR program with
+the manifest and layout registry, mirroring classes.dex + AndroidManifest.xml
++ res/layout/*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.android.framework import install_framework
+from repro.android.layout import LayoutRegistry
+from repro.android.manifest import Manifest
+from repro.ir.program import Program
+from repro.ir.validate import ValidationReport, validate_program
+
+
+@dataclass
+class ApkMetadata:
+    """Table 2-style descriptive metadata (popularity, category, origin)."""
+
+    installs: str = "N/A"
+    category: str = "misc"
+    source: str = "synthetic"
+
+
+@dataclass
+class Apk:
+    name: str
+    program: Program
+    manifest: Manifest
+    layouts: LayoutRegistry = field(default_factory=LayoutRegistry)
+    metadata: ApkMetadata = field(default_factory=ApkMetadata)
+
+    def __post_init__(self) -> None:
+        install_framework(self.program)
+
+    @property
+    def package(self) -> str:
+        return self.manifest.package
+
+    def activity_classes(self) -> List[str]:
+        return [a.class_name for a in self.manifest.activities]
+
+    def bytecode_size_kb(self) -> float:
+        """Approximate .dex size in KB (Table 2's right column)."""
+        return self.program.bytecode_size_bytes() / 1024.0
+
+    def validate(self) -> ValidationReport:
+        report = validate_program(self.program)
+        for decl in self.manifest.activities:
+            if decl.class_name not in self.program.classes:
+                report.error(f"manifest activity {decl.class_name} missing from program")
+            if decl.layout is not None:
+                try:
+                    self.layouts.layout(decl.layout)
+                except KeyError:
+                    report.error(
+                        f"activity {decl.class_name} references unknown layout {decl.layout!r}"
+                    )
+        return report
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "classes": len(self.program.app_classes()),
+            "methods": sum(1 for _ in self.program.app_methods()),
+            "instructions": sum(len(m.body) for m in self.program.app_methods()),
+            "activities": len(self.manifest.activities),
+            "layouts": len(self.layouts),
+            "bytecode_kb": self.bytecode_size_kb(),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Apk {self.name} activities={len(self.manifest.activities)}>"

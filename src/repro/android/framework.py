@@ -1,0 +1,484 @@
+"""The Android Framework (AF) model.
+
+Real SIERRA runs whole-program analysis over app + framework bytecode, with
+DroidEL resolving reflection and view inflation. Here the framework is a set
+of model classes installed into every :class:`~repro.ir.Program`, plus
+registries that tell the analyses which method signatures carry special
+semantics:
+
+* :data:`CALLBACK_METHODS` — the FlowDroid-style callback list (§3.2) that
+  drives fixpoint callback discovery during harness generation.
+* :data:`LISTENER_REGISTRATIONS` — registration APIs (``setOnClickListener``
+  and friends) mapping to the listener interface and callback methods they
+  arm.
+* :data:`POST_APIS` / :data:`SEND_APIS` / etc. — the concurrency surface of
+  Table 1 (action creation sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.ir.program import ClassDef, Method, Program
+from repro.ir.types import BOOL, INT, OBJECT, STRING, VOID, class_type
+
+
+class CallbackKind(Enum):
+    LIFECYCLE = "lifecycle"
+    GUI = "gui"
+    SYSTEM = "system"
+    TASK = "task"  # AsyncTask stage callbacks
+    MESSAGE = "message"  # Handler.handleMessage / posted Runnable.run
+    THREAD = "thread"  # Thread/Runnable bodies off the main looper
+
+
+# Lifecycle callbacks in the canonical invocation order (Figure 5).
+ACTIVITY_LIFECYCLE_CALLBACKS: Tuple[str, ...] = (
+    "onCreate",
+    "onStart",
+    "onResume",
+    "onPause",
+    "onStop",
+    "onRestart",
+    "onDestroy",
+)
+
+SERVICE_LIFECYCLE_CALLBACKS: Tuple[str, ...] = (
+    "onCreate",
+    "onStartCommand",
+    "onBind",
+    "onUnbind",
+    "onDestroy",
+)
+
+GUI_CALLBACKS: Tuple[str, ...] = (
+    "onClick",
+    "onLongClick",
+    "onScroll",
+    "onScrollStateChanged",
+    "onItemClick",
+    "onItemSelected",
+    "onTouch",
+    "onKey",
+    "onFocusChange",
+    "onCheckedChanged",
+    "onTextChanged",
+    "onMenuItemClick",
+    "onQueryTextChange",
+    "onOptionsItemSelected",
+    "onEditorAction",
+)
+
+SYSTEM_CALLBACKS: Tuple[str, ...] = (
+    "onReceive",
+    "onServiceConnected",
+    "onServiceDisconnected",
+    "onLocationChanged",
+    "onSensorChanged",
+    "onSharedPreferenceChanged",
+)
+
+TASK_CALLBACKS: Tuple[str, ...] = (
+    "onPreExecute",
+    "doInBackground",
+    "onProgressUpdate",
+    "onPostExecute",
+)
+
+MESSAGE_CALLBACKS: Tuple[str, ...] = ("handleMessage", "run")
+
+#: FlowDroid-style callback list: method name -> kind. Harness generation
+#: treats any override of one of these as an app callback.
+CALLBACK_METHODS: Dict[str, CallbackKind] = {}
+for _name in ACTIVITY_LIFECYCLE_CALLBACKS + SERVICE_LIFECYCLE_CALLBACKS:
+    CALLBACK_METHODS[_name] = CallbackKind.LIFECYCLE
+for _name in GUI_CALLBACKS:
+    CALLBACK_METHODS[_name] = CallbackKind.GUI
+for _name in SYSTEM_CALLBACKS:
+    CALLBACK_METHODS[_name] = CallbackKind.SYSTEM
+for _name in TASK_CALLBACKS:
+    CALLBACK_METHODS[_name] = CallbackKind.TASK
+for _name in MESSAGE_CALLBACKS:
+    CALLBACK_METHODS[_name] = CallbackKind.MESSAGE
+
+
+@dataclass(frozen=True)
+class ListenerRegistration:
+    """A framework API that arms GUI/system callbacks on a listener object."""
+
+    api_name: str
+    listener_interface: str
+    callback_methods: Tuple[str, ...]
+    kind: CallbackKind
+    listener_arg_index: int = 0  # position of the listener in the arg list
+
+
+LISTENER_REGISTRATIONS: Dict[str, ListenerRegistration] = {
+    reg.api_name: reg
+    for reg in (
+        ListenerRegistration(
+            "setOnClickListener",
+            "android.view.View.OnClickListener",
+            ("onClick",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnLongClickListener",
+            "android.view.View.OnLongClickListener",
+            ("onLongClick",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnScrollListener",
+            "android.widget.AbsListView.OnScrollListener",
+            ("onScroll", "onScrollStateChanged"),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnItemClickListener",
+            "android.widget.AdapterView.OnItemClickListener",
+            ("onItemClick",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnItemSelectedListener",
+            "android.widget.AdapterView.OnItemSelectedListener",
+            ("onItemSelected",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnTouchListener",
+            "android.view.View.OnTouchListener",
+            ("onTouch",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnKeyListener",
+            "android.view.View.OnKeyListener",
+            ("onKey",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnFocusChangeListener",
+            "android.view.View.OnFocusChangeListener",
+            ("onFocusChange",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnCheckedChangeListener",
+            "android.widget.CompoundButton.OnCheckedChangeListener",
+            ("onCheckedChanged",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "addTextChangedListener",
+            "android.text.TextWatcher",
+            ("onTextChanged",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "setOnMenuItemClickListener",
+            "android.view.MenuItem.OnMenuItemClickListener",
+            ("onMenuItemClick",),
+            CallbackKind.GUI,
+        ),
+        ListenerRegistration(
+            "registerReceiver",
+            "android.content.BroadcastReceiver",
+            ("onReceive",),
+            CallbackKind.SYSTEM,
+        ),
+        ListenerRegistration(
+            "bindService",
+            "android.content.ServiceConnection",
+            ("onServiceConnected", "onServiceDisconnected"),
+            CallbackKind.SYSTEM,
+            listener_arg_index=1,
+        ),
+        ListenerRegistration(
+            "requestLocationUpdates",
+            "android.location.LocationListener",
+            ("onLocationChanged",),
+            CallbackKind.SYSTEM,
+        ),
+    )
+}
+
+# --- Concurrency surface (Table 1 action-creation / HB-introduction APIs) ---
+
+#: Handler APIs posting a Runnable onto the handler's looper.
+POST_APIS = frozenset({"post", "postDelayed", "postAtFrontOfQueue", "postAtTime"})
+#: Handler APIs sending a Message delivered to Handler.handleMessage.
+SEND_APIS = frozenset(
+    {"sendMessage", "sendMessageDelayed", "sendEmptyMessage", "sendMessageAtTime"}
+)
+#: View.post / Activity.runOnUiThread — shorthand posts to the main looper.
+UI_POST_APIS = frozenset({"runOnUiThread"})
+#: AsyncTask launch.
+ASYNC_EXECUTE_APIS = frozenset({"execute", "executeOnExecutor"})
+#: Thread launch.
+THREAD_START_APIS = frozenset({"start"})
+#: Executor submission.
+EXECUTOR_APIS = frozenset({"execute", "submit"})
+
+
+def _nop_method(class_name: str, name: str, params=(), return_type=VOID, is_static=False) -> Method:
+    method = Method(
+        class_name=class_name,
+        name=name,
+        params=params,
+        return_type=return_type,
+        is_static=is_static,
+    )
+    # Model methods have empty bodies; their semantics live in the analyses
+    # (static interception by signature) and the dynamic interpreter.
+    return method
+
+
+_VIEW = class_type("android.view.View")
+_INTENT = class_type("android.content.Intent")
+_BUNDLE = class_type("android.os.Bundle")
+_MESSAGE = class_type("android.os.Message")
+_LOOPER = class_type("android.os.Looper")
+_RUNNABLE = class_type("java.lang.Runnable")
+
+
+def install_framework(program: Program) -> Program:
+    """Install the Android/Java model class hierarchy into ``program``.
+
+    Idempotent; every analysis entry point calls this defensively.
+    """
+    if "android.app.Activity" in program.classes:
+        return program
+
+    def cls(name: str, superclass: str = "java.lang.Object", interfaces=(), is_interface=False) -> ClassDef:
+        c = ClassDef(
+            name,
+            superclass=superclass,
+            interfaces=interfaces,
+            is_interface=is_interface,
+            is_framework=True,
+        )
+        program.add_class(c)
+        return c
+
+    # --- java.lang / java.util.concurrent -----------------------------
+    runnable = cls("java.lang.Runnable", is_interface=True)
+    runnable.add_method(_nop_method("java.lang.Runnable", "run"))
+
+    thread = cls("java.lang.Thread", interfaces=("java.lang.Runnable",))
+    for name in ("start", "run", "join", "interrupt"):
+        thread.add_method(_nop_method("java.lang.Thread", name))
+
+    executor = cls("java.util.concurrent.Executor", is_interface=True)
+    executor.add_method(
+        _nop_method("java.util.concurrent.Executor", "execute", params=[("command", _RUNNABLE)])
+    )
+    cls(
+        "java.util.concurrent.ThreadPoolExecutor",
+        interfaces=("java.util.concurrent.Executor",),
+    )
+
+    cls("java.lang.Exception")
+    cls("java.lang.RuntimeException", superclass="java.lang.Exception")
+    cls("java.lang.String")
+    lst = cls("java.util.List", is_interface=True)
+    for name in ("add", "get", "size", "clear", "remove"):
+        lst.add_method(_nop_method("java.util.List", name))
+    cls("java.util.ArrayList", interfaces=("java.util.List",))
+    mp = cls("java.util.Map", is_interface=True)
+    for name in ("put", "get", "containsKey", "remove"):
+        mp.add_method(_nop_method("java.util.Map", name))
+    cls("java.util.HashMap", interfaces=("java.util.Map",))
+
+    # --- android.os ----------------------------------------------------
+    looper = cls("android.os.Looper")
+    looper.add_method(
+        _nop_method("android.os.Looper", "getMainLooper", return_type=_LOOPER, is_static=True)
+    )
+    looper.add_method(
+        _nop_method("android.os.Looper", "myLooper", return_type=_LOOPER, is_static=True)
+    )
+
+    message = cls("android.os.Message")
+    message.add_field("what", INT)
+    message.add_field("arg1", INT)
+    message.add_field("obj", OBJECT)
+    message.add_method(
+        _nop_method("android.os.Message", "obtain", return_type=_MESSAGE, is_static=True)
+    )
+
+    handler = cls("android.os.Handler")
+    handler.add_field("looper", _LOOPER)
+    for name in sorted(POST_APIS):
+        handler.add_method(
+            _nop_method("android.os.Handler", name, params=[("r", _RUNNABLE)], return_type=BOOL)
+        )
+    for name in sorted(SEND_APIS):
+        handler.add_method(
+            _nop_method("android.os.Handler", name, params=[("msg", _MESSAGE)], return_type=BOOL)
+        )
+    handler.add_method(
+        _nop_method("android.os.Handler", "handleMessage", params=[("msg", _MESSAGE)])
+    )
+    handler.add_method(
+        _nop_method("android.os.Handler", "obtainMessage", return_type=_MESSAGE)
+    )
+    handler.add_method(
+        _nop_method("android.os.Handler", "removeCallbacks", params=[("r", _RUNNABLE)])
+    )
+
+    cls("android.os.HandlerThread", superclass="java.lang.Thread").add_method(
+        _nop_method("android.os.HandlerThread", "getLooper", return_type=_LOOPER)
+    )
+
+    async_task = cls("android.os.AsyncTask")
+    for name in sorted(ASYNC_EXECUTE_APIS):
+        async_task.add_method(_nop_method("android.os.AsyncTask", name))
+    for name in TASK_CALLBACKS:
+        async_task.add_method(_nop_method("android.os.AsyncTask", name))
+    async_task.add_method(_nop_method("android.os.AsyncTask", "publishProgress"))
+    async_task.add_method(_nop_method("android.os.AsyncTask", "cancel"))
+
+    bundle = cls("android.os.Bundle")
+    for name in ("getString", "putString", "getInt", "putInt"):
+        bundle.add_method(_nop_method("android.os.Bundle", name))
+
+    # --- android.content -----------------------------------------------
+    context = cls("android.content.Context")
+    for name, ret in (
+        ("registerReceiver", _INTENT),
+        ("unregisterReceiver", VOID),
+        ("sendBroadcast", VOID),
+        ("startService", VOID),
+        ("stopService", VOID),
+        ("bindService", BOOL),
+        ("unbindService", VOID),
+        ("startActivity", VOID),
+        ("getSystemService", OBJECT),
+    ):
+        context.add_method(_nop_method("android.content.Context", name, return_type=ret))
+
+    intent = cls("android.content.Intent")
+    intent.add_method(
+        _nop_method("android.content.Intent", "getExtras", return_type=_BUNDLE)
+    )
+    intent.add_method(_nop_method("android.content.Intent", "putExtra"))
+    intent.add_method(_nop_method("android.content.Intent", "getAction", return_type=STRING))
+
+    receiver = cls("android.content.BroadcastReceiver")
+    receiver.add_method(
+        _nop_method(
+            "android.content.BroadcastReceiver",
+            "onReceive",
+            params=[("context", class_type("android.content.Context")), ("intent", _INTENT)],
+        )
+    )
+
+    conn = cls("android.content.ServiceConnection", is_interface=True)
+    conn.add_method(_nop_method("android.content.ServiceConnection", "onServiceConnected"))
+    conn.add_method(_nop_method("android.content.ServiceConnection", "onServiceDisconnected"))
+
+    prefs = cls("android.content.SharedPreferences")
+    for name in ("getString", "getInt", "getBoolean", "edit"):
+        prefs.add_method(_nop_method("android.content.SharedPreferences", name))
+
+    # --- android.app ----------------------------------------------------
+    activity = cls("android.app.Activity", superclass="android.content.Context")
+    for name in ACTIVITY_LIFECYCLE_CALLBACKS:
+        activity.add_method(_nop_method("android.app.Activity", name))
+    activity.add_method(
+        _nop_method("android.app.Activity", "findViewById", params=[("id", INT)], return_type=_VIEW)
+    )
+    activity.add_method(
+        _nop_method("android.app.Activity", "runOnUiThread", params=[("action", _RUNNABLE)])
+    )
+    activity.add_method(_nop_method("android.app.Activity", "setContentView", params=[("layout", INT)]))
+    activity.add_method(_nop_method("android.app.Activity", "finish"))
+    activity.add_method(
+        _nop_method("android.app.Activity", "getSharedPreferences", return_type=class_type("android.content.SharedPreferences"))
+    )
+
+    service = cls("android.app.Service", superclass="android.content.Context")
+    for name in SERVICE_LIFECYCLE_CALLBACKS:
+        service.add_method(_nop_method("android.app.Service", name))
+
+    cls("android.content.ContentProvider").add_method(
+        _nop_method("android.content.ContentProvider", "onCreate")
+    )
+
+    # --- views / widgets -------------------------------------------------
+    view = cls("android.view.View")
+    for reg in LISTENER_REGISTRATIONS.values():
+        if reg.kind is CallbackKind.GUI:
+            view.add_method(_nop_method("android.view.View", reg.api_name))
+    view.add_method(_nop_method("android.view.View", "findViewById", params=[("id", INT)], return_type=_VIEW))
+    view.add_method(_nop_method("android.view.View", "post", params=[("r", _RUNNABLE)]))
+    view.add_method(_nop_method("android.view.View", "invalidate"))
+    view.add_method(_nop_method("android.view.View", "setVisibility", params=[("v", INT)]))
+    view.add_method(_nop_method("android.view.View", "setEnabled", params=[("e", BOOL)]))
+
+    for iface, methods in (
+        ("android.view.View.OnClickListener", ("onClick",)),
+        ("android.view.View.OnLongClickListener", ("onLongClick",)),
+        ("android.view.View.OnTouchListener", ("onTouch",)),
+        ("android.view.View.OnKeyListener", ("onKey",)),
+        ("android.view.View.OnFocusChangeListener", ("onFocusChange",)),
+        ("android.widget.AbsListView.OnScrollListener", ("onScroll", "onScrollStateChanged")),
+        ("android.widget.AdapterView.OnItemClickListener", ("onItemClick",)),
+        ("android.widget.AdapterView.OnItemSelectedListener", ("onItemSelected",)),
+        ("android.widget.CompoundButton.OnCheckedChangeListener", ("onCheckedChanged",)),
+        ("android.text.TextWatcher", ("onTextChanged",)),
+        ("android.view.MenuItem.OnMenuItemClickListener", ("onMenuItemClick",)),
+        ("android.location.LocationListener", ("onLocationChanged",)),
+    ):
+        c = cls(iface, is_interface=True)
+        for m in methods:
+            c.add_method(_nop_method(iface, m))
+
+    widgets = {
+        "android.widget.TextView": ("setText", "getText"),
+        "android.widget.Button": (),
+        "android.widget.EditText": ("getText", "setText"),
+        "android.widget.ImageView": ("setImageBitmap",),
+        "android.widget.ListView": ("setAdapter", "getAdapter"),
+        "android.widget.RecycleView": ("setAdapter", "getAdapter", "scrollToPosition"),
+        "android.widget.ProgressBar": ("setProgress",),
+        "android.widget.CheckBox": ("isChecked", "setChecked"),
+        "android.widget.Spinner": ("setAdapter",),
+        "android.widget.WebView": ("loadUrl",),
+    }
+    for wname, extra in widgets.items():
+        parent = "android.widget.TextView" if wname in ("android.widget.Button", "android.widget.EditText") else "android.view.View"
+        w = cls(wname, superclass=parent)
+        for m in extra:
+            w.add_method(_nop_method(wname, m))
+
+    adapter = cls("android.widget.Adapter")
+    for name in ("notifyDataSetChanged", "add", "clear", "getView", "getCount"):
+        adapter.add_method(_nop_method("android.widget.Adapter", name))
+
+    # Small conveniences apps in the corpus rely on.
+    db = cls("android.database.sqlite.SQLiteDatabase")
+    for name in ("open", "close", "update", "insert", "query", "delete"):
+        db.add_method(_nop_method("android.database.sqlite.SQLiteDatabase", name))
+
+    net = cls("java.net.HttpURLConnection")
+    for name in ("connect", "getInputStream", "disconnect"):
+        net.add_method(_nop_method("java.net.HttpURLConnection", name))
+
+    return program
+
+
+def is_framework_class(name: str) -> bool:
+    return name.startswith(("android.", "java.", "javax.", "dalvik."))
+
+
+def framework_entry_callbacks(program: Program, class_name: str) -> List[str]:
+    """Callback methods ``class_name`` overrides, in registry order."""
+    cls = program.classes.get(class_name)
+    if cls is None:
+        return []
+    return [name for name in cls.methods if name in CALLBACK_METHODS]

@@ -1,0 +1,82 @@
+"""AndroidManifest model: the component inventory of an app.
+
+SIERRA generates one harness per Activity (§3.2); the manifest is where it
+learns which classes are Activities, Services and statically-registered
+BroadcastReceivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ActivityDecl:
+    class_name: str
+    layout: Optional[str] = None  # layout inflated by setContentView
+    is_main: bool = False
+    #: Figure 6-style GUI flows: each inner list is a sequence of activity
+    #: handler methods the GUI model orders (e.g. a wizard's next/confirm).
+    #: Handlers not mentioned here become independent event-loop arms.
+    gui_flows: List[List[str]] = field(default_factory=list)
+
+
+@dataclass
+class ServiceDecl:
+    class_name: str
+
+
+@dataclass
+class ReceiverDecl:
+    """A receiver registered statically in the manifest (as opposed to a
+    runtime ``registerReceiver`` call, which harness generation discovers)."""
+
+    class_name: str
+    intent_actions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Manifest:
+    package: str
+    activities: List[ActivityDecl] = field(default_factory=list)
+    services: List[ServiceDecl] = field(default_factory=list)
+    receivers: List[ReceiverDecl] = field(default_factory=list)
+    #: navigation edges (launcher activity -> launched activity): an
+    #: activity can only be created after the activity that starts it was
+    #: created, which orders harnesses across components (HB rule 2c).
+    launches: List[tuple] = field(default_factory=list)
+
+    def add_launch(self, src: str, dst: str) -> None:
+        if (src, dst) not in self.launches:
+            self.launches.append((src, dst))
+
+    def add_activity(
+        self, class_name: str, layout: Optional[str] = None, is_main: bool = False
+    ) -> ActivityDecl:
+        decl = ActivityDecl(class_name=class_name, layout=layout, is_main=is_main)
+        self.activities.append(decl)
+        return decl
+
+    def add_service(self, class_name: str) -> ServiceDecl:
+        decl = ServiceDecl(class_name=class_name)
+        self.services.append(decl)
+        return decl
+
+    def add_receiver(self, class_name: str, intent_actions: Optional[List[str]] = None) -> ReceiverDecl:
+        decl = ReceiverDecl(class_name=class_name, intent_actions=intent_actions or [])
+        self.receivers.append(decl)
+        return decl
+
+    @property
+    def main_activity(self) -> Optional[ActivityDecl]:
+        for decl in self.activities:
+            if decl.is_main:
+                return decl
+        return self.activities[0] if self.activities else None
+
+    def activity(self, class_name: str) -> ActivityDecl:
+        for decl in self.activities:
+            if decl.class_name == class_name:
+                return decl
+        raise KeyError(f"{class_name} not declared in manifest")

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's tool takes an APK and produces a ranked race list; this CLI does
+the same over the reproduction's corpus:
+
+* ``analyze <app>``  — run the SIERRA pipeline, print the ranked reports;
+* ``compare <app>``  — static vs the EventRacer-style dynamic baseline,
+  plus optional replay verification of the static candidates;
+* ``corpus``         — list the available apps (figures, 20-app dataset,
+  F-Droid population).
+
+``<app>`` is ``quickstart`` / ``newsreader`` / ``dbapp`` / ``opensudoku``,
+``paper:<Name>`` (a Table 2 row, e.g. ``paper:K-9 Mail``), or
+``fdroid:<index>`` (0–173).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.android.apk import Apk
+from repro.core import Sierra, SierraOptions, format_table
+from repro.corpus import (
+    TWENTY_APPS,
+    build_newsreader_app,
+    build_opensudoku_app,
+    build_quickstart_app,
+    build_receiver_app,
+    classify_report_field,
+    fdroid_spec,
+    synthesize_app,
+    twenty_app_specs,
+)
+
+_FIGURE_APPS = {
+    "quickstart": build_quickstart_app,
+    "newsreader": build_newsreader_app,
+    "dbapp": build_receiver_app,
+    "opensudoku": build_opensudoku_app,
+}
+
+
+def load_app(name: str) -> Apk:
+    """Resolve an ``<app>`` argument to an APK (see module docstring)."""
+    if name in _FIGURE_APPS:
+        return _FIGURE_APPS[name]()
+    if name.startswith("paper:"):
+        wanted = name[len("paper:") :]
+        for spec in twenty_app_specs():
+            if spec.name.lower() == wanted.lower():
+                apk, _truth = synthesize_app(spec)
+                return apk
+        raise SystemExit(
+            f"unknown paper app {wanted!r}; choose from: "
+            + ", ".join(row.name for row in TWENTY_APPS)
+        )
+    if name.startswith("fdroid:"):
+        index = int(name[len("fdroid:") :])
+        if not 0 <= index < 174:
+            raise SystemExit("fdroid index must be 0..173")
+        apk, _truth = synthesize_app(fdroid_spec(index))
+        return apk
+    raise SystemExit(
+        f"unknown app {name!r}; use one of {sorted(_FIGURE_APPS)}, "
+        "paper:<Name>, or fdroid:<index>"
+    )
+
+
+def _options_from(args: argparse.Namespace) -> SierraOptions:
+    return SierraOptions(
+        selector=args.selector,
+        k=args.k,
+        refute=not args.no_refute,
+        path_budget=args.path_budget,
+        compare_without_as=args.compare_no_as,
+        index_sensitive_arrays=getattr(args, "index_sensitive", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_analyze(args: argparse.Namespace) -> int:
+    apk = load_app(args.app)
+    result = Sierra(_options_from(args)).analyze(apk)
+    report = result.report
+
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+
+    print(f"app: {apk.name}")
+    print(
+        f"harnesses={report.harnesses} actions={report.actions} "
+        f"hb_edges={report.hb_edges} ordered={report.ordered_fraction:.1%}"
+    )
+    line = f"racy pairs={report.racy_pairs}"
+    if report.racy_pairs_no_as is not None:
+        line += f" (without action-sensitivity: {report.racy_pairs_no_as})"
+    line += f", after refutation={report.races_after_refutation}"
+    print(line)
+    print(
+        f"stages: cg+pa={report.time_cg_pa:.2f}s hbg={report.time_hbg:.2f}s "
+        f"refutation={report.time_refutation:.2f}s"
+    )
+    print()
+    if not report.reports:
+        print("no races reported.")
+        return 0
+    rows = [
+        {
+            "#": race.rank,
+            "Field": race.field_name,
+            "Kind": race.kind,
+            "Tier": race.tier,
+            "Flags": ",".join(
+                flag
+                for flag, on in (
+                    ("NPE-risk", race.pointer_race),
+                    ("guard-var", race.benign_guard),
+                )
+                if on
+            ),
+            "Actions": " vs ".join(
+                result.extraction.by_id(i).label for i in race.pair.actions
+            ),
+        }
+        for race in report.reports[: args.top]
+    ]
+    print(format_table(rows))
+    if args.ground_truth:
+        true_n = sum(
+            1 for r in report.reports if classify_report_field(r.field_name) == "true"
+        )
+        print(
+            f"\nground truth: {true_n} true, {len(report.reports) - true_n} "
+            "false positives"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.dynamic import run_eventracer, verify_candidates
+
+    apk = load_app(args.app)
+    static = Sierra(_options_from(args)).analyze(apk)
+    dynamic = run_eventracer(
+        apk, schedules=args.schedules, max_events=args.events
+    )
+    static_fields = {p.field_name for p in static.surviving}
+    dynamic_fields = {r.field_name for r in dynamic.races}
+
+    print(f"app: {apk.name}")
+    print(f"SIERRA (static): {len(static.surviving)} races on {len(static_fields)} fields")
+    print(
+        f"EventRacer ({args.schedules} schedules x {args.events} events): "
+        f"{dynamic.race_count} races on {len(dynamic_fields)} fields "
+        f"({dynamic.filtered_by_coverage} filtered by race coverage, "
+        f"{dynamic.pointer_guarded_count()} pointer-guard FP risks)"
+    )
+    missed = static_fields - dynamic_fields
+    print(f"missed by the dynamic run: {len(missed)} fields")
+    for field in sorted(missed)[:10]:
+        print(f"  - {field}")
+
+    if args.replay:
+        replay = verify_candidates(
+            apk, static, schedules=args.schedules * 8, max_events=args.events
+        )
+        counts = replay.counts()
+        print(
+            f"replay verification: {counts['harmful']} harmful, "
+            f"{counts['benign']} benign, {counts['unconfirmed']} unconfirmed"
+        )
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    rows = [
+        {"App": name, "Source": "figure", "Activities": "-"}
+        for name in sorted(_FIGURE_APPS)
+    ]
+    for row in TWENTY_APPS:
+        rows.append(
+            {
+                "App": f"paper:{row.name}",
+                "Source": "Table 2 stand-in",
+                "Activities": row.harnesses,
+            }
+        )
+    print(format_table(rows))
+    print("\nplus fdroid:0 .. fdroid:173 (Table 5 population)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIERRA reproduction: static event-based race detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_analysis_flags(p):
+        p.add_argument("--selector", default="action",
+                       choices=("insensitive", "kcfa", "kobj", "hybrid", "action"))
+        p.add_argument("--k", type=int, default=2)
+        p.add_argument("--no-refute", action="store_true")
+        p.add_argument("--path-budget", type=int, default=5000)
+        p.add_argument("--compare-no-as", action="store_true",
+                       help="also run without action sensitivity (Table 3 column)")
+        p.add_argument("--index-sensitive", action="store_true",
+                       help="refine constant-index array cells (paper future work)")
+
+    analyze = sub.add_parser("analyze", help="run the SIERRA pipeline on an app")
+    analyze.add_argument("app")
+    analyze.add_argument("--top", type=int, default=25, help="reports to print")
+    analyze.add_argument("--ground-truth", action="store_true",
+                         help="score reports against synthetic ground truth")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+    add_analysis_flags(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    compare = sub.add_parser("compare", help="static vs dynamic baseline")
+    compare.add_argument("app")
+    compare.add_argument("--schedules", type=int, default=3)
+    compare.add_argument("--events", type=int, default=50)
+    compare.add_argument("--replay", action="store_true",
+                         help="replay-verify the static candidates")
+    add_analysis_flags(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    corpus = sub.add_parser("corpus", help="list available apps")
+    corpus.set_defaults(func=cmd_corpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into `head` etc.; exit quietly like a well-behaved tool
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

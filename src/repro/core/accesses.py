@@ -1,0 +1,142 @@
+"""Memory-access extraction per action (§4.1's ⟨x, τ, A⟩ bundles).
+
+An access is a field/static/array read or write executed by some action,
+abstracted to the set of memory *locations* (abstract object × field) its
+base expression may point to. Racy-pair enumeration intersects these
+location sets across actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.analysis.callgraph import MethodContext
+from repro.analysis.pointsto import ARRAY_FIELD, PointsToResult, array_field_name
+from repro.core.actions import Action
+from repro.core.extract import Extraction
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    FieldLoad,
+    FieldStore,
+    Instruction,
+    StaticLoad,
+    StaticStore,
+)
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Location:
+    """One abstract memory cell: (base, field).
+
+    ``base`` is a points-to object for instance fields and array cells, or
+    the declaring class name (str) for statics.
+    """
+
+    base: object
+    field: str
+
+    @property
+    def is_static(self) -> bool:
+        return isinstance(self.base, str)
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.field}"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access performed by an action."""
+
+    action: Action
+    mc: MethodContext
+    instr: Instruction
+    kind: str  # READ or WRITE
+    locations: FrozenSet[Location]
+    field_name: str
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    @property
+    def method_signature(self) -> str:
+        return self.mc.method.signature
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} {self.field_name} in {self.method_signature} "
+            f"(action {self.action.id}: {self.action.label})"
+        )
+
+
+def _base_locations(
+    result: PointsToResult, mc: MethodContext, var_name: str, field: str
+) -> FrozenSet[Location]:
+    return frozenset(Location(obj, field) for obj in result.var(mc, var_name))
+
+
+def collect_accesses(extraction: Extraction) -> List[Access]:
+    """All shared-memory accesses, per action, with their location sets.
+
+    Accesses whose base points-to set is empty are dropped — with no alias
+    information they can never intersect another access (and would only
+    ever produce noise reports).
+    """
+    result = extraction.result
+    assert result is not None, "extraction must be solved first"
+    accesses: List[Access] = []
+    for action in extraction.actions:
+        for mc in action.members:
+            for instr in mc.method.body:
+                entry = _access_of(result, action, mc, instr)
+                if entry is not None:
+                    accesses.append(entry)
+    return accesses
+
+
+def _access_of(
+    result: PointsToResult, action: Action, mc: MethodContext, instr: Instruction
+) -> Optional[Access]:
+    if isinstance(instr, FieldLoad):
+        locs = _base_locations(result, mc, instr.obj.name, instr.field_name)
+        kind, field = READ, instr.field_name
+    elif isinstance(instr, FieldStore):
+        locs = _base_locations(result, mc, instr.obj.name, instr.field_name)
+        kind, field = WRITE, instr.field_name
+    elif isinstance(instr, StaticLoad):
+        locs = frozenset({Location(instr.class_name, instr.field_name)})
+        kind, field = READ, instr.field_name
+    elif isinstance(instr, StaticStore):
+        locs = frozenset({Location(instr.class_name, instr.field_name)})
+        kind, field = WRITE, instr.field_name
+    elif isinstance(instr, (ArrayLoad, ArrayStore)):
+        # Under index sensitivity, constant-index accesses get their own
+        # cells. Aliasing with variable-index (summary-cell) accesses is
+        # asymmetric — handled in racy-pair enumeration, not by blurring the
+        # location sets here (which would re-conflate distinct slots).
+        cell = array_field_name(instr.index, result.index_sensitive_arrays)
+        locs = _base_locations(result, mc, instr.arr.name, cell)
+        if isinstance(instr, ArrayLoad):
+            kind, field = READ, cell
+        else:
+            kind, field = WRITE, cell
+    else:
+        return None
+    if not locs:
+        return None
+    return Access(
+        action=action, mc=mc, instr=instr, kind=kind, locations=locs, field_name=field
+    )
+
+
+def accesses_by_location(accesses: List[Access]) -> Dict[Location, List[Access]]:
+    index: Dict[Location, List[Access]] = {}
+    for access in accesses:
+        for loc in access.locations:
+            index.setdefault(loc, []).append(access)
+    return index

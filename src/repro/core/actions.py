@@ -1,0 +1,112 @@
+"""Concurrency actions (§4.2, Table 1) — the SHBG's nodes.
+
+An *action* reifies one unit of event handling: a lifecycle callback
+instance, a GUI or system event, a posted message/Runnable, an AsyncTask
+stage, or a background thread body. Actions carry a thread affinity (which
+looper executes them, or a fresh background thread) because both racy-pair
+eligibility (§4.4) and the looper-atomicity HB rules (4-6) are
+affinity-conditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import ClassVar, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import MethodContext
+from repro.ir.instructions import Invoke
+from repro.ir.program import Method
+
+
+class ActionKind(Enum):
+    LIFECYCLE = "lifecycle"
+    GUI = "gui"
+    SYSTEM = "system"
+    MESSAGE = "message"  # Handler.post*/send* payloads + runOnUiThread/View.post
+    ASYNC_BG = "async-bg"  # AsyncTask.doInBackground
+    ASYNC_CB = "async-cb"  # AsyncTask on{Pre,Post,Progress} main-thread stages
+    THREAD = "thread"  # Thread.start / Executor bodies
+
+    @property
+    def is_event(self) -> bool:
+        """Event actions originate at harness sites (AF-delivered)."""
+        return self in (ActionKind.LIFECYCLE, ActionKind.GUI, ActionKind.SYSTEM)
+
+
+@dataclass(frozen=True)
+class Affinity:
+    """Which thread executes an action.
+
+    ``kind`` is "main" (the UI looper), "looper" (another looper thread,
+    ``key`` = the looper's abstract object), or "background" (a fresh thread
+    per action, ``key`` = the action id so no two actions share it).
+    """
+
+    kind: str
+    key: object = None
+
+    MAIN: ClassVar["Affinity"]
+
+    def same_looper(self, other: "Affinity") -> bool:
+        if self.kind == "background" or other.kind == "background":
+            return False
+        return (self.kind, self.key) == (other.kind, other.key)
+
+    def is_main(self) -> bool:
+        return self.kind == "main"
+
+    def __repr__(self) -> str:
+        if self.kind == "main":
+            return "@main"
+        if self.kind == "looper":
+            return f"@looper({self.key!r})"
+        return f"@bg({self.key!r})"
+
+
+Affinity.MAIN = Affinity("main")
+
+
+@dataclass
+class Action:
+    """One SHBG node."""
+
+    id: int
+    kind: ActionKind
+    label: str
+    entry_method: Method
+    callback: str
+    #: the instruction that creates/invokes this action: a harness call
+    #: site or marker for event actions, a post/start/execute site otherwise
+    creation_site: Optional[Invoke] = None
+    #: method containing the creation site
+    creation_method: Optional[Method] = None
+    #: owning component (activity/service/receiver class) if any
+    component: Optional[str] = None
+    #: harness class whose main holds the creation site (event actions)
+    harness: Optional[str] = None
+    #: lifecycle instance number — the Figure 5 "1"/"2" split
+    instance: int = 1
+    affinity: Affinity = Affinity.MAIN
+    #: ids of actions whose code contains the creation site (HB rule 1)
+    parents: Set[int] = field(default_factory=set)
+    #: (site id, entry id) keys on the posting ancestry — recursion cutoff
+    #: for self-reposting runnables (a repost collapses onto its ancestor)
+    chain: FrozenSet[Tuple[int, int]] = frozenset()
+    #: method-contexts executing as part of this action (final analysis)
+    members: List[MethodContext] = field(default_factory=list)
+    #: methods executing as part of this action (context-collapsed view)
+    member_methods: List[Method] = field(default_factory=list)
+
+    def describe(self) -> str:
+        inst = f'"{self.instance}"' if self.instance > 1 else ""
+        return f"[{self.id}] {self.kind.value}:{self.label}{inst} {self.affinity!r}"
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Action) and other.id == self.id
+
+    def __repr__(self) -> str:
+        return f"<Action {self.describe()}>"

@@ -1,0 +1,140 @@
+"""The SIERRA end-to-end pipeline (Figure 3).
+
+``Sierra.analyze(apk)`` runs:
+
+1. harness generation with fixpoint callback discovery (§3.2),
+2. action extraction + context-sensitive points-to / call graph, with the
+   action-sensitive abstraction by default (§3.3),
+3. Static Happens-Before Graph construction (§4),
+4. racy-pair enumeration (§4.4),
+5. backward-symbolic refutation (§5),
+6. prioritization (§3.1),
+
+and reports per-stage wall-clock timings bucketed exactly like Table 4:
+CG+PA (harness + both analysis phases), HBG, and Refutation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.context import ContextSelector, HybridSelector, make_selector
+from repro.android.apk import Apk
+from repro.core.accesses import collect_accesses
+from repro.core.extract import Extraction, extract_actions
+from repro.core.harness import HarnessModel, generate_harnesses
+from repro.core.hb import SHBG, build_shbg
+from repro.core.prioritize import rank_races
+from repro.core.races import RacyPair, find_racy_pairs
+from repro.core.refute import RefutationEngine
+from repro.core.report import RaceReport, SierraReport
+
+
+@dataclass
+class SierraOptions:
+    """Knobs for ablations and benchmarking."""
+
+    selector: str = "action"  # context abstraction (see make_selector)
+    k: int = 2
+    refute: bool = True  # run symbolic refutation
+    path_budget: int = 5000  # §5's path cap
+    loop_bound: int = 2
+    #: also run the hybrid-without-action-sensitivity pipeline to fill
+    #: Table 3's "Racy Pairs w/o AS" column (costs a second analysis)
+    compare_without_as: bool = False
+    #: constant-index array cells get their own locations (the paper's
+    #: future-work refinement after Dillig et al. [15])
+    index_sensitive_arrays: bool = False
+
+
+@dataclass
+class SierraResult:
+    """Full artifacts of one run (the report plus analysis internals)."""
+
+    report: SierraReport
+    extraction: Extraction
+    shbg: SHBG
+    racy_pairs: List[RacyPair]
+    surviving: List[RacyPair]
+    harness: HarnessModel
+
+
+class Sierra:
+    """StatIc Event-based Race detectoR for Android — reproduction."""
+
+    def __init__(self, options: Optional[SierraOptions] = None):
+        self.options = options or SierraOptions()
+
+    # ------------------------------------------------------------------
+    def analyze(self, apk: Apk) -> SierraResult:
+        opts = self.options
+        report = SierraReport(app=apk.name)
+
+        t0 = time.perf_counter()
+        harness = generate_harnesses(apk)
+        selector = make_selector(opts.selector, opts.k)
+        extraction = extract_actions(
+            apk,
+            harness,
+            selector=selector,
+            index_sensitive_arrays=opts.index_sensitive_arrays,
+        )
+        report.time_cg_pa = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        shbg = build_shbg(extraction)
+        report.time_hbg = time.perf_counter() - t1
+
+        accesses = collect_accesses(extraction)
+        racy_pairs = find_racy_pairs(extraction, shbg, accesses)
+
+        if opts.compare_without_as:
+            report.racy_pairs_no_as = self._racy_pairs_without_as(apk, harness)
+
+        t2 = time.perf_counter()
+        if opts.refute:
+            engine = RefutationEngine(
+                extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
+            )
+            summary = engine.refute_all(racy_pairs)
+            surviving = summary.surviving
+            report.refutation_stats = summary.stats()
+        else:
+            surviving = list(racy_pairs)
+        report.time_refutation = time.perf_counter() - t2
+
+        report.harnesses = harness.harness_count()
+        report.actions = len(extraction.actions)
+        report.hb_edges = shbg.hb_edge_count()
+        report.ordered_fraction = shbg.ordered_fraction()
+        report.racy_pairs = len(racy_pairs)
+        report.races_after_refutation = len(surviving)
+        report.edges_by_rule = shbg.edges_by_rule()
+        report.reports = rank_races(extraction, surviving)
+
+        return SierraResult(
+            report=report,
+            extraction=extraction,
+            shbg=shbg,
+            racy_pairs=racy_pairs,
+            surviving=surviving,
+            harness=harness,
+        )
+
+    # ------------------------------------------------------------------
+    def _racy_pairs_without_as(self, apk: Apk, harness: HarnessModel) -> int:
+        """Re-run extraction + race enumeration under plain hybrid contexts
+        (no action element) — Table 3's with/without-AS comparison."""
+        extraction = extract_actions(
+            apk, harness, selector=HybridSelector(self.options.k)
+        )
+        shbg = build_shbg(extraction)
+        accesses = collect_accesses(extraction)
+        return len(find_racy_pairs(extraction, shbg, accesses))
+
+
+def analyze_apk(apk: Apk, options: Optional[SierraOptions] = None) -> SierraResult:
+    """One-shot convenience entry point."""
+    return Sierra(options).analyze(apk)

@@ -1,0 +1,111 @@
+"""Race prioritization heuristics (§3.1) and §6.5's benign-guard tagging.
+
+Ranking, from the paper: (1) races in application code outrank framework
+races; (2) framework races directly invoked from app code outrank library
+races; (3) races on pointer cells are boosted — an unordered null-store /
+dereference pair is an outright crash (NullPointerException) rather than a
+stale value.
+
+We additionally tag *guard-variable* races (§6.5): the racy field itself is
+read under / used as a branch guard in one of the two actions. These are
+true races but usually benign; the paper measured 74.8% of surviving
+reports to be of this shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.framework import is_framework_class
+from repro.core.accesses import Access
+from repro.core.extract import Extraction
+from repro.core.races import RacyPair
+from repro.core.report import RaceReport
+from repro.ir.instructions import Compare, FieldLoad, If, StaticLoad, Var
+
+
+def _tier_of(extraction: Extraction, pair: RacyPair) -> str:
+    """app / framework / library classification of the racier access."""
+    tiers = []
+    for access in (pair.access1, pair.access2):
+        cls = access.mc.method.class_name
+        if is_framework_class(cls):
+            tiers.append("framework")
+        elif ".lib." in cls or cls.split(".")[-1].startswith("Lib"):
+            tiers.append("library")
+        else:
+            tiers.append("app")
+    if "app" in tiers:
+        return "app"
+    if "framework" in tiers:
+        return "framework"
+    return "library"
+
+
+def _is_pointer_race(extraction: Extraction, pair: RacyPair) -> bool:
+    """Is the racy cell reference-typed (NPE candidate)?"""
+    program = extraction.apk.program
+    location = pair.location
+    if location.is_static:
+        resolved = program.resolve_field(str(location.base), location.field)
+    else:
+        class_name = getattr(location.base, "class_name", None)
+        resolved = (
+            program.resolve_field(class_name, location.field) if class_name else None
+        )
+    if resolved is None:
+        return False
+    return resolved[1].type.is_reference()
+
+
+def _guarded_by_field(access: Access, field_name: str) -> bool:
+    """Does the access's method branch on a register loaded from the racy
+    field? (the mIsRunning idiom of Figure 8)"""
+    loaded = set()
+    for instr in access.mc.method.body:
+        if isinstance(instr, (FieldLoad, StaticLoad)) and instr.field_name == field_name:
+            loaded.add(instr.dst.name)
+        elif isinstance(instr, If):
+            for op in (instr.lhs, instr.rhs):
+                if isinstance(op, Var) and op.name in loaded:
+                    return True
+        elif isinstance(instr, Compare):
+            for op in (instr.lhs, instr.rhs):
+                if isinstance(op, Var) and op.name in loaded:
+                    return True
+    return False
+
+
+def is_benign_guard(pair: RacyPair) -> bool:
+    return _guarded_by_field(pair.access1, pair.field_name) or _guarded_by_field(
+        pair.access2, pair.field_name
+    )
+
+
+def rank_races(extraction: Extraction, pairs: List[RacyPair]) -> List[RaceReport]:
+    """Score, sort (most-dangerous first) and rank surviving races."""
+    reports: List[RaceReport] = []
+    for pair in pairs:
+        tier = _tier_of(extraction, pair)
+        pointer = _is_pointer_race(extraction, pair)
+        benign = is_benign_guard(pair)
+        score = {"app": 60, "framework": 40, "library": 20}[tier]
+        if pointer:
+            score += 15
+        if benign:
+            score -= 10
+        if pair.kind == "event":
+            score += 5  # the paper's focus: event-based races
+        reports.append(
+            RaceReport(
+                pair=pair,
+                priority=score,
+                tier=tier,
+                pointer_race=pointer,
+                benign_guard=benign,
+            )
+        )
+    reports.sort(key=lambda r: (-r.priority, r.field_name, r.pair.actions))
+    for rank, report in enumerate(reports, start=1):
+        report.rank = rank
+    return reports

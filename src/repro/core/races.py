@@ -1,0 +1,131 @@
+"""Racy-pair enumeration (§4.1, §4.4).
+
+Accesses α1, α2 form a racy pair iff
+
+* they come from different actions A1 ≠ A2,
+* the actions are *not* ordered by the SHBG,
+* their points-to location sets intersect,
+* at least one access is a write, and
+* the actions can actually interleave: either they run on the same looper
+  (an **event race** — unordered event arrival) or on different threads
+  (a **data race**). Two handlers bound to *different* loopers, or a looper
+  action vs. a background thread, interleave at instruction granularity;
+  same-looper actions interleave only at event granularity thanks to looper
+  atomicity — either way the pair is reportable.
+
+Pairs are deduplicated per (action pair, location): the racy unit the paper
+counts is "these two actions conflict on this memory", not every syntactic
+access combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.accesses import Access, Location, WRITE, accesses_by_location
+from repro.core.extract import Extraction
+from repro.core.hb import SHBG
+
+EVENT_RACE = "event"
+DATA_RACE = "data"
+
+
+@dataclass
+class RacyPair:
+    """Two unordered conflicting accesses — a candidate race."""
+
+    access1: Access
+    access2: Access
+    location: Location
+    kind: str  # EVENT_RACE or DATA_RACE
+
+    @property
+    def actions(self) -> Tuple[int, int]:
+        a, b = self.access1.action.id, self.access2.action.id
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def field_name(self) -> str:
+        return self.location.field
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}-race on {self.location!r}: "
+            f"{self.access1.describe()} <-> {self.access2.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<RacyPair {self.describe()}>"
+
+
+def _race_kind(a1: Access, a2: Access) -> str:
+    if a1.action.affinity.same_looper(a2.action.affinity):
+        return EVENT_RACE
+    return DATA_RACE
+
+
+def _pair_group(
+    group: List[Access],
+    location: Location,
+    shbg: SHBG,
+    seen: Dict[Tuple[int, int, Location], RacyPair],
+) -> None:
+    writers = [a for a in group if a.kind == WRITE]
+    if not writers:
+        return
+    for a1 in writers:
+        for a2 in group:
+            if a2.action.id == a1.action.id:
+                continue
+            if shbg.comparable(a1.action.id, a2.action.id):
+                continue
+            key_ids = (
+                (a1.action.id, a2.action.id)
+                if a1.action.id <= a2.action.id
+                else (a2.action.id, a1.action.id)
+            )
+            key = (key_ids[0], key_ids[1], location)
+            if key in seen:
+                continue
+            seen[key] = RacyPair(
+                access1=a1, access2=a2, location=location, kind=_race_kind(a1, a2)
+            )
+
+
+def find_racy_pairs(
+    extraction: Extraction, shbg: SHBG, accesses: List[Access]
+) -> List[RacyPair]:
+    """Enumerate candidate races, one representative pair per
+    (action pair, location).
+
+    Array-cell aliasing under index sensitivity is asymmetric: refined cells
+    ``$elem[i]`` never alias each other, but each may-aliases the same
+    base's summary cell ``$elem`` (a variable-index access can hit any
+    slot) — those cross groups are paired explicitly.
+    """
+    from repro.analysis.pointsto import ARRAY_FIELD
+
+    by_location = accesses_by_location(accesses)
+    seen: Dict[Tuple[int, int, Location], RacyPair] = {}
+    for location, group in by_location.items():
+        if len(group) >= 2:
+            _pair_group(group, location, shbg, seen)
+    for location, group in by_location.items():
+        if not location.field.startswith("$elem["):
+            continue
+        summary = Location(location.base, ARRAY_FIELD)
+        summary_group = by_location.get(summary)
+        if summary_group:
+            _pair_group(group + summary_group, location, shbg, seen)
+    return list(seen.values())
+
+
+def racy_pair_stats(pairs: List[RacyPair]) -> Dict[str, int]:
+    return {
+        "total": len(pairs),
+        "event": sum(1 for p in pairs if p.kind == EVENT_RACE),
+        "data": sum(1 for p in pairs if p.kind == DATA_RACE),
+        "distinct_action_pairs": len({p.actions for p in pairs}),
+        "distinct_fields": len({p.field_name for p in pairs}),
+    }

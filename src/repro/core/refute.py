@@ -1,0 +1,247 @@
+"""Refutation of candidate races by backward symbolic execution (§5).
+
+A racy pair survives (is a *true positive*) iff **both** orderings of its
+two actions admit a feasible witness:
+
+    ordering "E before L":
+      1. walk backward from the racy access αL to L's entry, collecting the
+         path constraints required to reach αL (e.g. ``mIsRunning == true``);
+      2. for each collected constraint set, walk backward through E from its
+         exit to its entry — the path must visit αE (both accesses must
+         happen) and must not contradict the constraints: a strong update in
+         E that conflicts (``mIsRunning = false``) kills the path.
+
+If every path of either ordering is contradicted, the candidate is refuted
+— this is how ad-hoc guard-flag synchronization (Figure 8) is recognised
+without any annotation.
+
+On-demand constant propagation (§5) seeds ``Message`` field constants from
+the send site when an action is a ``handleMessage`` body. A path-budget
+overrun reports the race anyway (over-approximation, as in the paper), and
+nodes visited only by refuted explorations are memoised so later queries
+prune early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import MethodContext
+from repro.analysis.constprop import constant_message_fields
+from repro.analysis.icfg import ActionICFG, ICFGNode
+from repro.core.accesses import Access, Location
+from repro.core.actions import Action
+from repro.core.extract import Extraction
+from repro.core.races import RacyPair
+from repro.symbolic.executor import BackwardExecutor, SearchOutcome
+from repro.symbolic.state import SymState
+
+
+@dataclass
+class RefutationResult:
+    pair: RacyPair
+    is_race: bool
+    refuted_ordering: Optional[str] = None  # which ordering failed, if any
+    nodes_expanded: int = 0
+    budget_exceeded: bool = False
+    cache_hits: int = 0
+
+
+@dataclass
+class RefutationSummary:
+    results: List[RefutationResult] = field(default_factory=list)
+
+    @property
+    def surviving(self) -> List[RacyPair]:
+        return [r.pair for r in self.results if r.is_race]
+
+    @property
+    def refuted(self) -> List[RacyPair]:
+        return [r.pair for r in self.results if not r.is_race]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "candidates": len(self.results),
+            "surviving": len(self.surviving),
+            "refuted": len(self.refuted),
+            "budget_exceeded": sum(1 for r in self.results if r.budget_exceeded),
+            "nodes_expanded": sum(r.nodes_expanded for r in self.results),
+            "cache_hits": sum(r.cache_hits for r in self.results),
+        }
+
+
+class RefutationEngine:
+    def __init__(
+        self,
+        extraction: Extraction,
+        path_budget: int = 5000,
+        loop_bound: int = 2,
+    ) -> None:
+        assert extraction.result is not None
+        self.ext = extraction
+        self.result = extraction.result
+        self.path_budget = path_budget
+        self.loop_bound = loop_bound
+        self._icfg_cache: Dict[int, ActionICFG] = {}
+        self._facts_cache: Dict[int, Dict[Location, object]] = {}
+        # §5 caching: ICFG nodes only ever seen on refuted explorations.
+        self._refuted_nodes: Set[ICFGNode] = set()
+
+    # ------------------------------------------------------------------
+    def refute_all(self, pairs: List[RacyPair]) -> RefutationSummary:
+        summary = RefutationSummary()
+        for pair in pairs:
+            summary.results.append(self.refute(pair))
+        return summary
+
+    def refute(self, pair: RacyPair) -> RefutationResult:
+        result = RefutationResult(pair=pair, is_race=True)
+        a1, a2 = pair.access1, pair.access2
+        for earlier, later, tag in ((a1, a2, "1<2"), (a2, a1, "2<1")):
+            outcome = self._ordering_feasible(earlier, later)
+            result.nodes_expanded += outcome.nodes_expanded
+            result.budget_exceeded |= outcome.budget_exceeded
+            result.cache_hits += outcome.cache_hits
+            if outcome.budget_exceeded:
+                # cannot decide: over-approximate (keep the race)
+                continue
+            if not outcome.feasible:
+                result.is_race = False
+                result.refuted_ordering = tag
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    def _ordering_feasible(self, earlier: Access, later: Access) -> SearchOutcome:
+        """Is "earlier's action completes, then later's action reaches its
+        access" witnessable?"""
+        combined = SearchOutcome(feasible=False)
+
+        later_icfg = self._icfg_of(later.action)
+        later_exec = self._executor(later_icfg)
+        later_start = self._nodes_of_access(later_icfg, later)
+        later_entries = self._entry_nodes(later_icfg, later.action)
+        if not later_start or not later_entries:
+            combined.feasible = True  # cannot analyse: do not refute
+            return combined
+        collect = later_exec.search(
+            later_start,
+            later_entries,
+            facts=self._facts_of(later.action),
+        )
+        combined.nodes_expanded += collect.nodes_expanded
+        combined.budget_exceeded |= collect.budget_exceeded
+        combined.cache_hits += collect.cache_hits
+        if collect.budget_exceeded:
+            combined.feasible = True
+            return combined
+        if not collect.feasible:
+            # αL is unreachable inside its own action under the constraints:
+            # no witness in this ordering regardless of E.
+            self._remember_refuted(later_icfg, collect, later_start)
+            return combined
+
+        earlier_icfg = self._icfg_of(earlier.action)
+        earlier_exec = self._executor(earlier_icfg)
+        earlier_entries = self._entry_nodes(earlier_icfg, earlier.action)
+        earlier_exits = self._exit_nodes(earlier_icfg, earlier.action)
+        must_pass = set(self._nodes_of_access(earlier_icfg, earlier))
+        if not earlier_exits or not earlier_entries or not must_pass:
+            combined.feasible = True
+            return combined
+        facts = self._facts_of(earlier.action)
+        for state in collect.final_states:
+            carried = SymState(regs={}, locs=dict(state.locs))
+            witness = earlier_exec.search(
+                earlier_exits,
+                earlier_entries,
+                initial=carried,
+                must_pass=must_pass,
+                facts=facts,
+                stop_at_first=True,
+            )
+            combined.nodes_expanded += witness.nodes_expanded
+            combined.budget_exceeded |= witness.budget_exceeded
+            combined.cache_hits += witness.cache_hits
+            if witness.feasible or witness.budget_exceeded:
+                combined.feasible = True
+                return combined
+        return combined
+
+    # ------------------------------------------------------------------
+    def _executor(self, icfg: ActionICFG) -> BackwardExecutor:
+        return BackwardExecutor(
+            icfg,
+            self.result,
+            path_budget=self.path_budget,
+            loop_bound=self.loop_bound,
+            refuted_node_cache=self._refuted_nodes,
+        )
+
+    def _remember_refuted(
+        self, icfg: ActionICFG, outcome: SearchOutcome, starts: List[ICFGNode]
+    ) -> None:
+        """Memoise the §5 cache: a fully-refuted collection query means no
+        feasible backward path leaves these start nodes."""
+        if not outcome.budget_exceeded:
+            self._refuted_nodes.update(starts)
+
+    def _icfg_of(self, action: Action) -> ActionICFG:
+        icfg = self._icfg_cache.get(action.id)
+        if icfg is None:
+            icfg = ActionICFG(self.result.call_graph, action.members)
+            self._icfg_cache[action.id] = icfg
+        return icfg
+
+    def _entry_nodes(self, icfg: ActionICFG, action: Action) -> Set[ICFGNode]:
+        return {
+            icfg.entry_node(mc)
+            for mc in icfg.members
+            if mc.method is action.entry_method
+        }
+
+    def _exit_nodes(self, icfg: ActionICFG, action: Action) -> List[ICFGNode]:
+        nodes: List[ICFGNode] = []
+        for mc in icfg.members:
+            if mc.method is action.entry_method:
+                nodes.extend(icfg.exit_nodes(mc))
+        return nodes
+
+    def _nodes_of_access(self, icfg: ActionICFG, access: Access) -> List[ICFGNode]:
+        return icfg.sites_of_instruction(access.instr)
+
+    # ------------------------------------------------------------------
+    def _facts_of(self, action: Action) -> Dict[Location, object]:
+        """On-demand constant propagation: Message field constants from the
+        send site, keyed by the message objects' locations."""
+        facts = self._facts_cache.get(action.id)
+        if facts is not None:
+            return facts
+        facts = {}
+        site = action.creation_site
+        method = action.creation_method
+        if (
+            site is not None
+            and method is not None
+            and action.entry_method.name == "handleMessage"
+        ):
+            constants = constant_message_fields(method, site)
+            if constants and site.args:
+                arg = site.args[0]
+                from repro.ir.instructions import Var
+
+                if isinstance(arg, Var):
+                    for mc in self.result.call_graph.nodes:
+                        if mc.method is not method:
+                            continue
+                        for msg_obj in self.result.var(mc, arg.name):
+                            for fname, value in constants.items():
+                                facts[Location(msg_obj, fname)] = value
+        self._facts_cache[action.id] = facts
+        return facts
+
+
+def refute_races(extraction: Extraction, pairs: List[RacyPair], **kwargs) -> RefutationSummary:
+    """Run symbolic refutation over all candidate pairs."""
+    return RefutationEngine(extraction, **kwargs).refute_all(pairs)

@@ -1,0 +1,153 @@
+"""Race reports: the detector's user-facing output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.races import RacyPair
+
+
+@dataclass
+class RaceReport:
+    """One ranked race report."""
+
+    pair: RacyPair
+    priority: int
+    tier: str  # "app" | "framework" | "library"
+    pointer_race: bool  # reference-typed cell: NullPointerException risk
+    benign_guard: bool  # guard-variable race (§6.5): true but likely benign
+    rank: int = 0
+
+    @property
+    def field_name(self) -> str:
+        return self.pair.field_name
+
+    @property
+    def kind(self) -> str:
+        return self.pair.kind
+
+    def describe(self) -> str:
+        flags = []
+        if self.pointer_race:
+            flags.append("NPE-risk")
+        if self.benign_guard:
+            flags.append("guard-var")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"#{self.rank} ({self.tier}) {self.pair.describe()}{suffix}"
+
+
+@dataclass
+class SierraReport:
+    """End-to-end output of one SIERRA run over one APK (one Table 3 row)."""
+
+    app: str
+    harnesses: int = 0
+    actions: int = 0
+    hb_edges: int = 0
+    ordered_fraction: float = 0.0
+    racy_pairs_no_as: Optional[int] = None  # without action sensitivity
+    racy_pairs: int = 0
+    races_after_refutation: int = 0
+    reports: List[RaceReport] = field(default_factory=list)
+    # stage timings, seconds (Table 4)
+    time_cg_pa: float = 0.0
+    time_hbg: float = 0.0
+    time_refutation: float = 0.0
+    edges_by_rule: Dict[str, int] = field(default_factory=dict)
+    refutation_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def time_total(self) -> float:
+        return self.time_cg_pa + self.time_hbg + self.time_refutation
+
+    def benign_guard_count(self) -> int:
+        return sum(1 for r in self.reports if r.benign_guard)
+
+    def table3_row(self) -> Dict[str, object]:
+        return {
+            "App": self.app,
+            "Harnesses": self.harnesses,
+            "Actions": self.actions,
+            "HB Edges": self.hb_edges,
+            "Ordered (%)": round(100 * self.ordered_fraction, 1),
+            "Racy Pairs w/o AS": self.racy_pairs_no_as,
+            "Racy Pairs with AS": self.racy_pairs,
+            "After refutation": self.races_after_refutation,
+        }
+
+    def table4_row(self) -> Dict[str, object]:
+        return {
+            "App": self.app,
+            "CG+PA": round(self.time_cg_pa, 3),
+            "HBG": round(self.time_hbg, 3),
+            "Refutation": round(self.time_refutation, 3),
+            "Total": round(self.time_total, 3),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable rendering (CLI ``--json``, CI pipelines)."""
+        return {
+            "app": self.app,
+            "harnesses": self.harnesses,
+            "actions": self.actions,
+            "hb_edges": self.hb_edges,
+            "ordered_fraction": round(self.ordered_fraction, 4),
+            "racy_pairs_without_action_sensitivity": self.racy_pairs_no_as,
+            "racy_pairs": self.racy_pairs,
+            "races_after_refutation": self.races_after_refutation,
+            "edges_by_rule": dict(self.edges_by_rule),
+            "refutation": dict(self.refutation_stats),
+            "timings_seconds": {
+                "cg_pa": round(self.time_cg_pa, 4),
+                "hbg": round(self.time_hbg, 4),
+                "refutation": round(self.time_refutation, 4),
+                "total": round(self.time_total, 4),
+            },
+            "reports": [
+                {
+                    "rank": race.rank,
+                    "field": race.field_name,
+                    "kind": race.kind,
+                    "tier": race.tier,
+                    "priority": race.priority,
+                    "pointer_race": race.pointer_race,
+                    "benign_guard": race.benign_guard,
+                    "location": repr(race.pair.location),
+                    "actions": list(race.pair.actions),
+                    "access1": race.pair.access1.describe(),
+                    "access2": race.pair.access2.describe(),
+                }
+                for race in self.reports
+            ],
+        }
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render rows as a fixed-width text table (bench harness output)."""
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(row.get(h, ""))) for row in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(str(h).ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def median(values: List[float]) -> float:
+    """Median as the paper reports it (lower middle for even counts is not
+    specified; use the standard midpoint)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

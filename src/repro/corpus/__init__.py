@@ -1,0 +1,60 @@
+"""App corpus: figure apps, the 20-app Table 2/3 stand-ins, and the
+174-app F-Droid-style population — all synthetic and seed-stable."""
+
+from repro.corpus.apps import (
+    build_newsreader_app,
+    build_opensudoku_app,
+    build_quickstart_app,
+    build_receiver_app,
+)
+from repro.corpus.fdroid import (
+    FDROID_APP_COUNT,
+    fdroid_spec,
+    fdroid_specs,
+    generate_fdroid_corpus,
+)
+from repro.corpus.specs import (
+    FDROID_PAPER_MEDIANS,
+    PaperAppRow,
+    SynthSpec,
+    TWENTY_APPS,
+    TWENTY_PAPER_MEDIANS,
+    spec_for_paper_app,
+    twenty_app_specs,
+)
+from repro.corpus.synth import (
+    AppSynthesizer,
+    ELIMINATED_CATEGORIES,
+    GROUND_TRUTH_PREFIXES,
+    GroundTruth,
+    TRUE_CATEGORIES,
+    classify_field,
+    classify_report_field,
+    synthesize_app,
+)
+
+__all__ = [
+    "AppSynthesizer",
+    "ELIMINATED_CATEGORIES",
+    "FDROID_APP_COUNT",
+    "FDROID_PAPER_MEDIANS",
+    "GROUND_TRUTH_PREFIXES",
+    "GroundTruth",
+    "PaperAppRow",
+    "SynthSpec",
+    "TRUE_CATEGORIES",
+    "TWENTY_APPS",
+    "TWENTY_PAPER_MEDIANS",
+    "build_newsreader_app",
+    "build_opensudoku_app",
+    "build_quickstart_app",
+    "build_receiver_app",
+    "classify_field",
+    "classify_report_field",
+    "fdroid_spec",
+    "fdroid_specs",
+    "generate_fdroid_corpus",
+    "spec_for_paper_app",
+    "synthesize_app",
+    "twenty_app_specs",
+]

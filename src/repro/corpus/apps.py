@@ -1,0 +1,306 @@
+"""Hand-built model apps reproducing the paper's running examples.
+
+* :func:`build_newsreader_app` — Figure 1's intra-component race:
+  ``NewsActivity`` + ``LoaderTask`` (AsyncTask) vs. a scroll listener.
+* :func:`build_receiver_app` — Figure 2's inter-component race:
+  ``MainActivity`` lifecycle vs. a runtime-registered BroadcastReceiver
+  sharing a database object.
+* :func:`build_opensudoku_app` — Figure 8's OpenSudoku timer fragment whose
+  guard-flag idiom the symbolic refuter must recognise: the ``mAccumTime``
+  candidate is refutable, the ``mIsRunning`` guard race is a (benign) true
+  race.
+* :func:`build_quickstart_app` — a minimal two-callback app used by the
+  README quickstart.
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk, ApkMetadata
+from repro.android.framework import install_framework
+from repro.android.manifest import Manifest
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import BOOL, INT, class_type
+
+
+def _fresh_builder() -> ProgramBuilder:
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    return pb
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — intra-component race (NewsActivity)
+# ----------------------------------------------------------------------
+def build_newsreader_app() -> Apk:
+    """NewsActivity: click starts a LoaderTask that updates the adapter from
+    a background thread; scrolling reads the adapter on the main thread.
+
+    Seeded races (all real in the paper's example):
+
+    * ``NewsAdapter.data``  — doInBackground (background write) vs. onScroll
+      (main-thread read): a data race;
+    * ``NewsAdapter.cachedCount`` — onPostExecute vs. onScroll, two
+      unordered main-looper events: an event race.
+    """
+    pb = _fresh_builder()
+    pkg = "com.example.news"
+
+    adapter = pb.new_class(f"{pkg}.NewsAdapter")
+    adapter.field("data", "java.lang.Object")
+    adapter.field("cachedCount", INT)
+
+    # scroll listener: RecycleView cache validation against adapter state
+    scroll = pb.new_class(
+        f"{pkg}.NewsScrollListener",
+        interfaces=("android.widget.AbsListView.OnScrollListener",),
+    )
+    scroll.field("adapter", f"{pkg}.NewsAdapter")
+    on_scroll = scroll.method("onScroll")
+    on_scroll.load("ad", "this", "adapter")
+    on_scroll.load("items", "ad", "data")  # getViewForPosition()
+    on_scroll.load("count", "ad", "cachedCount")  # validateForPosition()
+    on_scroll.ret()
+
+    task = pb.new_class(f"{pkg}.LoaderTask", superclass="android.os.AsyncTask")
+    task.field("adapter", f"{pkg}.NewsAdapter")
+    bg = task.method("doInBackground")
+    bg.load("ad", "this", "adapter")
+    bg.call_static("java.net.HttpURLConnection.connect")  # download()
+    bg.new("newslist", "java.util.ArrayList")
+    bg.store("ad", "data", "newslist")  # adapter.add(newslist)
+    bg.ret("newslist")
+    post = task.method("onPostExecute", params=[("news", class_type("java.lang.Object"))])
+    post.load("ad", "this", "adapter")
+    post.load("c", "ad", "cachedCount")
+    post.const("one", 1)
+    post.store("ad", "cachedCount", "one")  # notifyDataSetChanged()
+    post.ret()
+
+    click = pb.new_class(
+        f"{pkg}.LoadClickListener", interfaces=("android.view.View.OnClickListener",)
+    )
+    click.field("adapter", f"{pkg}.NewsAdapter")
+    on_click = click.method("onClick")
+    on_click.new("t", f"{pkg}.LoaderTask")
+    on_click.load("ad", "this", "adapter")
+    on_click.store("t", "adapter", "ad")
+    on_click.call("t", "execute")
+    on_click.ret()
+
+    activity = pb.new_class(f"{pkg}.NewsActivity", superclass="android.app.Activity")
+    activity.field("rv", "android.widget.RecycleView")
+    activity.field("adapter", f"{pkg}.NewsAdapter")
+    oc = activity.method("onCreate")
+    oc.call("this", "findViewById", 100, dst="rv")
+    oc.store("this", "rv", "rv")
+    oc.new("ad", f"{pkg}.NewsAdapter")
+    oc.store("this", "adapter", "ad")
+    oc.call("rv", "setAdapter", "ad")
+    oc.new("sl", f"{pkg}.NewsScrollListener")
+    oc.store("sl", "adapter", "ad")
+    oc.call("rv", "setOnScrollListener", "sl")
+    oc.new("cl", f"{pkg}.LoadClickListener")
+    oc.store("cl", "adapter", "ad")
+    oc.call("this", "findViewById", 101, dst="btn")
+    oc.call("btn", "setOnClickListener", "cl")
+    oc.ret()
+    activity.method("onDestroy").ret()
+
+    apk = Apk(
+        "newsreader",
+        pb.build(),
+        Manifest(pkg),
+        metadata=ApkMetadata(category="news", source="figure-1"),
+    )
+    apk.manifest.add_activity(f"{pkg}.NewsActivity", layout="news_main", is_main=True)
+    layout = apk.layouts.new_layout("news_main")
+    layout.add_view(100, "android.widget.RecycleView", "rvNews")
+    layout.add_view(101, "android.widget.Button", "btnLoad")
+    return apk
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — inter-component race (Activity vs BroadcastReceiver)
+# ----------------------------------------------------------------------
+def build_receiver_app() -> Apk:
+    """MainActivity opens/closes a database along the lifecycle while a
+    runtime-registered receiver updates it whenever a broadcast arrives.
+
+    Seeded races:
+
+    * ``DataBase.isOpen`` — onReceive reads it, onStop writes false: the
+      paper's crash scenario (update on a closed database);
+    * ``MainActivity.mDB`` — onReceive reads the pointer, onDestroy nulls
+      it: an NPE-risk pointer race.
+    """
+    pb = _fresh_builder()
+    pkg = "com.example.dbapp"
+
+    db = pb.new_class(f"{pkg}.DataBase")
+    db.field("isOpen", BOOL)
+    db.field("rows", INT)
+
+    recv = pb.new_class(
+        f"{pkg}.DataReceiver", superclass="android.content.BroadcastReceiver"
+    )
+    recv.field("act", f"{pkg}.MainActivity")
+    orc = recv.method("onReceive")
+    orc.load("a", "this", "act")
+    orc.load("d", "a", "mDB")  # races with onDestroy's null store
+    orc.load("open", "d", "isOpen")  # races with onStop's close
+    orc.const("n", 1)
+    orc.store("d", "rows", "n")  # mDB.update(bundle)
+    orc.ret()
+
+    activity = pb.new_class(f"{pkg}.MainActivity", superclass="android.app.Activity")
+    activity.field("mDB", f"{pkg}.DataBase")
+    activity.field("recv", f"{pkg}.DataReceiver")
+
+    oc = activity.method("onCreate")
+    oc.new("d", f"{pkg}.DataBase")
+    oc.store("this", "mDB", "d")
+    oc.new("r", f"{pkg}.DataReceiver")
+    oc.store("r", "act", "this")
+    oc.store("this", "recv", "r")
+    oc.call("this", "registerReceiver", "r")
+    oc.ret()
+
+    on_start = activity.method("onStart")
+    on_start.load("d", "this", "mDB")
+    on_start.const("t", True)
+    on_start.store("d", "isOpen", "t")  # mDB.open()
+    on_start.ret()
+
+    on_stop = activity.method("onStop")
+    on_stop.load("d", "this", "mDB")
+    on_stop.const("f", False)
+    on_stop.store("d", "isOpen", "f")  # mDB.close()
+    on_stop.ret()
+
+    on_destroy = activity.method("onDestroy")
+    on_destroy.load("r", "this", "recv")
+    on_destroy.call("this", "unregisterReceiver", "r")
+    on_destroy.const("nul", None)
+    on_destroy.store("this", "mDB", "nul")  # mDB = null
+    on_destroy.ret()
+
+    apk = Apk(
+        "dbapp",
+        pb.build(),
+        Manifest(pkg),
+        metadata=ApkMetadata(category="tools", source="figure-2"),
+    )
+    apk.manifest.add_activity(f"{pkg}.MainActivity", is_main=True)
+    return apk
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — OpenSudoku timer fragment (refutation target)
+# ----------------------------------------------------------------------
+def build_opensudoku_app() -> Apk:
+    """The guard-flag idiom of Figure 8.
+
+    ``TimerRunnable.run`` (a posted message action) and ``onPause``'s stop
+    path both write ``mAccumTime``, but both writes are guarded by
+    ``mIsRunning`` and ``stop`` performs the strong update
+    ``mIsRunning = false`` *before* its write — so the ``mAccumTime``
+    candidate must be **refuted**, while the ``mIsRunning`` read/write pair
+    is a true (benign, guard-variable) race.
+    """
+    pb = _fresh_builder()
+    pkg = "com.example.sudoku"
+
+    runnable = pb.new_class(f"{pkg}.TimerRunnable", interfaces=("java.lang.Runnable",))
+    runnable.field("owner", f"{pkg}.TimerActivity")
+    runnable.field("handler", "android.os.Handler")
+    run = runnable.method("run")
+    run.load("t", "this", "owner")
+    run.load("running", "t", "mIsRunning")  # guard read: the benign race
+    run.if_false("running", "end")
+    run.load("acc", "t", "mAccumTime")
+    run.const("step", 1)
+    run.store("t", "mAccumTime", "step")  # αA: refutable candidate
+    run.call_static("$nondet$", dst="again")
+    run.if_false("again", "stopself")
+    run.load("h", "this", "handler")
+    run.call("h", "postDelayed", "this")  # self-repost
+    run.goto("end")
+    run.label("stopself").const("f", False)
+    run.store("t", "mIsRunning", "f")
+    run.label("end").ret()
+
+    activity = pb.new_class(f"{pkg}.TimerActivity", superclass="android.app.Activity")
+    activity.field("mIsRunning", BOOL)
+    activity.field("mAccumTime", INT)
+    activity.field("runner", f"{pkg}.TimerRunnable")
+    activity.field("handler", "android.os.Handler")
+
+    on_resume = activity.method("onResume")
+    on_resume.const("t", True)
+    on_resume.store("this", "mIsRunning", "t")
+    on_resume.call_static("android.os.Looper.getMainLooper", dst="lp")
+    on_resume.new("h", "android.os.Handler")
+    on_resume.call_special("h", "android.os.Handler.<init>", "lp")
+    on_resume.store("this", "handler", "h")
+    on_resume.new("r", f"{pkg}.TimerRunnable")
+    on_resume.store("r", "owner", "this")
+    on_resume.store("r", "handler", "h")
+    on_resume.store("this", "runner", "r")
+    on_resume.call("h", "post", "r")
+    on_resume.ret()
+
+    on_pause = activity.method("onPause")
+    on_pause.load("running", "this", "mIsRunning")
+    on_pause.if_false("running", "done")
+    on_pause.const("f", False)
+    on_pause.store("this", "mIsRunning", "f")  # strong update (refuter key)
+    on_pause.load("acc", "this", "mAccumTime")
+    on_pause.const("v", 2)
+    on_pause.store("this", "mAccumTime", "v")  # αB
+    on_pause.label("done").ret()
+
+    apk = Apk(
+        "opensudoku-timer",
+        pb.build(),
+        Manifest(pkg),
+        metadata=ApkMetadata(category="game", source="figure-8"),
+    )
+    apk.manifest.add_activity(f"{pkg}.TimerActivity", is_main=True)
+    return apk
+
+
+# ----------------------------------------------------------------------
+# Quickstart — the smallest app with a detectable race
+# ----------------------------------------------------------------------
+def build_quickstart_app() -> Apk:
+    """Two unordered main-looper events sharing one counter field."""
+    pb = _fresh_builder()
+    pkg = "com.example.quickstart"
+
+    activity = pb.new_class(f"{pkg}.MainActivity", superclass="android.app.Activity")
+    activity.field("counter", INT)
+    oc = activity.method("onCreate")
+    oc.const("zero", 0)
+    oc.store("this", "counter", "zero")
+    oc.ret()
+    inc = activity.method("onClickIncrement")
+    inc.load("c", "this", "counter")
+    inc.const("one", 1)
+    inc.store("this", "counter", "one")
+    inc.ret()
+    reset = activity.method("onClickReset")
+    reset.const("zero", 0)
+    reset.store("this", "counter", "zero")
+    reset.ret()
+
+    apk = Apk(
+        "quickstart",
+        pb.build(),
+        Manifest(pkg),
+        metadata=ApkMetadata(category="demo", source="quickstart"),
+    )
+    decl = apk.manifest.add_activity(f"{pkg}.MainActivity", layout="main", is_main=True)
+    layout = apk.layouts.new_layout("main")
+    layout.add_view(1, "android.widget.Button", "btnInc", static_callbacks=(("onClick", "onClickIncrement"),))
+    layout.add_view(2, "android.widget.Button", "btnReset", static_callbacks=(("onClick", "onClickReset"),))
+    return apk

@@ -1,0 +1,68 @@
+"""The 174-app F-Droid-style corpus (Table 5's workload).
+
+The paper's second dataset is 174 open-source apps from F-Droid with a
+median bytecode size of 1.1 MB, analysed automatically (no manual
+inspection). We synthesize a seed-stable population whose per-app densities
+are drawn from skewed distributions calibrated so the *medians* land near
+Table 5's shape: ~4.5 harnesses, ~67.5 actions, ~68 racy pairs, ~43.5
+reports after refutation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.android.apk import Apk
+from repro.corpus.specs import SynthSpec
+from repro.corpus.synth import GroundTruth, synthesize_app
+
+FDROID_APP_COUNT = 174
+
+#: Plausible F-Droid-style app names (cycled with an index suffix).
+_NAME_STEMS = [
+    "NoteBuddy", "OpenTracks", "TinyWeather", "BatteryBot", "PodListen",
+    "MiniVector", "KeyPass", "RadioDroid", "BookWorm", "TransitWidget",
+    "PixelKnife", "OfflineMaps", "SmsBackup", "EtherPadder", "ScanBee",
+    "HabitDeck", "MarkorLite", "TorchBit", "UnitDrop", "FeedFlow",
+    "ClipStackr", "CalDyno", "PressureLog", "VaultDoor", "TermPlex",
+    "AudioTick", "PhotoAffix", "DnsWatch", "GlucoLog", "MoonPhase",
+]
+
+
+def fdroid_spec(index: int, base_seed: int = 77_000) -> SynthSpec:
+    """Deterministic spec for app ``index`` (0..173)."""
+    rng = random.Random(base_seed + index)
+    stem = _NAME_STEMS[index % len(_NAME_STEMS)]
+    name = f"{stem}-{index:03d}"
+    # log-ish skewed sizes: most apps small, a fat tail of bigger ones
+    activities = max(1, min(20, int(rng.lognormvariate(1.45, 0.55))))
+    true_target = max(1, int(rng.lognormvariate(2.6, 0.7)))
+    refutable_target = max(1, int(rng.lognormvariate(2.4, 0.7)))
+    return SynthSpec(
+        name=name,
+        seed=base_seed + index,
+        activities=activities,
+        evrace=max(1, round(true_target * 0.45)),
+        bgrace=max(1, round(true_target * 0.25)),
+        guard=max(1, round(refutable_target * 0.7)),
+        nullguard=round(true_target * 0.20),
+        ordered=max(1, activities // 2),
+        factory=max(1, round(rng.lognormvariate(2.2, 0.6))),
+        implicit=rng.randrange(0, 3),
+        receivers=1 if rng.random() < 0.4 else 0,
+        services=1 if rng.random() < 0.3 else 0,
+        extra_gui=max(0, round(activities * rng.uniform(1.0, 4.0))),
+        installs="N/A",
+        category="fdroid",
+    )
+
+
+def fdroid_specs(count: int = FDROID_APP_COUNT) -> List[SynthSpec]:
+    return [fdroid_spec(i) for i in range(count)]
+
+
+def generate_fdroid_corpus(count: int = FDROID_APP_COUNT) -> Iterator[Tuple[Apk, GroundTruth]]:
+    """Generate the corpus lazily (174 apps at once is avoidable memory)."""
+    for spec in fdroid_specs(count):
+        yield synthesize_app(spec)

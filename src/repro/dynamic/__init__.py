@@ -1,0 +1,51 @@
+"""Dynamic baseline: IR interpreter, schedule driver, EventRacer-style detector."""
+
+from repro.dynamic.eventracer import (
+    DynamicRace,
+    EventRacer,
+    EventRacerReport,
+    compare_with_static,
+    run_eventracer,
+)
+from repro.dynamic.interpreter import AccessRecord, Interpreter, PendingTask, RtLocation, RtObject
+from repro.dynamic.replay import (
+    BENIGN,
+    HARMFUL,
+    OrderOutcome,
+    ReplayReport,
+    ReplayVerdict,
+    ReplayVerifier,
+    UNCONFIRMED,
+    verify_candidates,
+)
+from repro.dynamic.scheduler import DynEvent, ExecutionDriver, Registration, Runtime, Trace
+from repro.dynamic.vectorclock import TraceOrder, VectorClock, happens_before
+
+__all__ = [
+    "AccessRecord",
+    "BENIGN",
+    "HARMFUL",
+    "OrderOutcome",
+    "ReplayReport",
+    "ReplayVerdict",
+    "ReplayVerifier",
+    "UNCONFIRMED",
+    "verify_candidates",
+    "DynEvent",
+    "DynamicRace",
+    "EventRacer",
+    "EventRacerReport",
+    "ExecutionDriver",
+    "Interpreter",
+    "PendingTask",
+    "Registration",
+    "RtLocation",
+    "RtObject",
+    "Runtime",
+    "Trace",
+    "TraceOrder",
+    "VectorClock",
+    "compare_with_static",
+    "happens_before",
+    "run_eventracer",
+]

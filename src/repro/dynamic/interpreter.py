@@ -1,0 +1,389 @@
+"""A concrete interpreter for the IR (the dynamic detector's engine).
+
+Executes app callbacks over a real heap, with framework semantics for the
+concurrency surface: handler posts enqueue onto looper queues, AsyncTasks
+run their background stage on a pool thread and post their completion
+callback back to the main looper, listener registrations arm GUI events.
+
+The interpreter is deliberately *event-granular*: one callback/message/task
+body executes atomically (the looper atomicity guarantee), and all
+interleaving happens between tasks — which is exactly the event-race model
+both EventRacer and SIERRA reason about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.android.apk import Apk
+from repro.android.framework import (
+    ASYNC_EXECUTE_APIS,
+    LISTENER_REGISTRATIONS,
+    POST_APIS,
+    SEND_APIS,
+    THREAD_START_APIS,
+    UI_POST_APIS,
+)
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    Binary,
+    BinOp,
+    CmpOp,
+    Compare,
+    Const,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    InvokeKind,
+    New,
+    Nop,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Var,
+)
+from repro.ir.program import Method
+
+
+class RtObject:
+    """A runtime heap object."""
+
+    _ids = itertools.count()
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = {}
+        self.oid = next(RtObject._ids)
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}#{self.oid}>"
+
+
+@dataclass(frozen=True)
+class RtLocation:
+    """A concrete memory cell: object identity (or class name) × field."""
+
+    base: Any  # RtObject oid (int) or class name (str) for statics
+    field: str
+    base_class: str = ""
+
+    def __repr__(self) -> str:
+        return f"{self.base_class or self.base}.{self.field}"
+
+
+@dataclass
+class AccessRecord:
+    """One dynamic memory access, attributed to the executing event."""
+
+    event_id: int
+    location: RtLocation
+    kind: str  # "read" | "write"
+    field_name: str
+    method: str
+    #: branch guards observed in this event before the access:
+    #: (location, primitive?) — the race-coverage filter's input
+    guards: Tuple[Tuple[RtLocation, bool], ...] = ()
+    #: for writes: the stored value (primitives as-is, objects by class) —
+    #: replay verification compares final states across orders with this
+    value: object = None
+
+
+@dataclass
+class PendingTask:
+    """Something enqueued for later execution."""
+
+    kind: str  # "message" | "async-post" | "thread" | "async-bg"
+    method: Method
+    receiver: Optional[RtObject]
+    args: Tuple[Any, ...] = ()
+    poster_event: Optional[int] = None
+    label: str = ""
+    #: global enqueue ordinal — input to the looper-FIFO HB rule
+    seq: int = -1
+
+
+class Interpreter:
+    """Executes one method body atomically; side effects feed the runtime."""
+
+    MAX_STEPS_PER_EVENT = 10_000
+
+    def __init__(self, apk: Apk, runtime: "Runtime"):
+        self.apk = apk
+        self.program = apk.program
+        self.rt = runtime
+
+    # ------------------------------------------------------------------
+    def run_method(
+        self, method: Method, receiver: Optional[RtObject], args: Tuple[Any, ...] = ()
+    ) -> Any:
+        env: Dict[str, Any] = {}
+        # per-frame register provenance: register -> RtLocation it was loaded
+        # from (feeds the guard tracking for EventRacer's coverage filter)
+        origins: Dict[str, RtLocation] = {}
+        if not method.is_static:
+            env["this"] = receiver
+        for (pname, _ptype), value in zip(method.params, args):
+            env[pname] = value
+        # unbound params default to None (framework-delivered callbacks)
+        for pname, _ptype in method.params:
+            env.setdefault(pname, None)
+
+        body = method.body
+        labels = {i.label: pos for pos, i in enumerate(body) if i.label}
+        pc = 0
+        steps = 0
+        while pc < len(body):
+            steps += 1
+            if steps > self.MAX_STEPS_PER_EVENT:
+                break  # runaway loop inside one event: cut it off
+            instr = body[pc]
+            jump = self._step(method, instr, env, origins)
+            if jump is _RETURN:
+                return env.get("$ret")
+            if isinstance(jump, str):
+                pc = labels[jump]
+            else:
+                pc += 1
+        return env.get("$ret")
+
+    # ------------------------------------------------------------------
+    def _value(self, env: Dict[str, Any], operand) -> Any:
+        if isinstance(operand, Const):
+            return operand.value
+        return env.get(operand.name)
+
+    def _step(
+        self,
+        method: Method,
+        instr: Instruction,
+        env: Dict[str, Any],
+        origins: Dict[str, RtLocation],
+    ):
+        rt = self.rt
+        if isinstance(instr, (Nop, Goto)):
+            return instr.target if isinstance(instr, Goto) else None
+        if isinstance(instr, Assign):
+            env[instr.dst.name] = self._value(env, instr.src)
+            if isinstance(instr.src, Var) and instr.src.name in origins:
+                origins[instr.dst.name] = origins[instr.src.name]
+            else:
+                origins.pop(instr.dst.name, None)
+            return None
+        if isinstance(instr, New):
+            env[instr.dst.name] = RtObject(instr.class_name)
+            origins.pop(instr.dst.name, None)
+            return None
+        if isinstance(instr, FieldLoad):
+            obj = env.get(instr.obj.name)
+            if obj is None:
+                rt.record_exception(method, "NullPointerException")
+                env[instr.dst.name] = None
+                origins.pop(instr.dst.name, None)
+                return None
+            loc = rt.record_access(obj, instr.field_name, "read", method)
+            env[instr.dst.name] = obj.fields.get(instr.field_name)
+            origins[instr.dst.name] = loc
+            return None
+        if isinstance(instr, FieldStore):
+            obj = env.get(instr.obj.name)
+            if obj is None:
+                rt.record_exception(method, "NullPointerException")
+                return None
+            stored = self._value(env, instr.src)
+            rt.record_access(obj, instr.field_name, "write", method, value=stored)
+            obj.fields[instr.field_name] = stored
+            return None
+        if isinstance(instr, StaticLoad):
+            loc = rt.record_static_access(instr.class_name, instr.field_name, "read", method)
+            env[instr.dst.name] = rt.statics.get((instr.class_name, instr.field_name))
+            origins[instr.dst.name] = loc
+            return None
+        if isinstance(instr, StaticStore):
+            stored = self._value(env, instr.src)
+            rt.record_static_access(
+                instr.class_name, instr.field_name, "write", method, value=stored
+            )
+            rt.statics[(instr.class_name, instr.field_name)] = stored
+            return None
+        if isinstance(instr, ArrayLoad):
+            arr = env.get(instr.arr.name)
+            if isinstance(arr, RtObject):
+                rt.record_access(arr, "$elem", "read", method)
+                env[instr.dst.name] = arr.fields.get("$elem")
+            else:
+                env[instr.dst.name] = None
+            origins.pop(instr.dst.name, None)
+            return None
+        if isinstance(instr, ArrayStore):
+            arr = env.get(instr.arr.name)
+            if isinstance(arr, RtObject):
+                rt.record_access(arr, "$elem", "write", method)
+                arr.fields["$elem"] = self._value(env, instr.src)
+            return None
+        if isinstance(instr, Binary):
+            lhs, rhs = self._value(env, instr.lhs), self._value(env, instr.rhs)
+            env[instr.dst.name] = _binop(instr.op, lhs, rhs)
+            origins.pop(instr.dst.name, None)
+            return None
+        if isinstance(instr, Compare):
+            lhs, rhs = self._value(env, instr.lhs), self._value(env, instr.rhs)
+            env[instr.dst.name] = _safe_cmp(instr.op, lhs, rhs)
+            # a comparison derived from a loaded cell keeps its provenance
+            for op in (instr.lhs, instr.rhs):
+                if isinstance(op, Var) and op.name in origins:
+                    origins[instr.dst.name] = origins[op.name]
+                    break
+            else:
+                origins.pop(instr.dst.name, None)
+            return None
+        if isinstance(instr, If):
+            lhs, rhs = self._value(env, instr.lhs), self._value(env, instr.rhs)
+            self._record_guard(instr, env, origins)
+            if _safe_cmp(instr.op, lhs, rhs):
+                return instr.target
+            return None
+        if isinstance(instr, Return):
+            env["$ret"] = self._value(env, instr.value) if instr.value is not None else None
+            return _RETURN
+        if isinstance(instr, Invoke):
+            env_dst = self._invoke(method, instr, env)
+            if instr.dst is not None:
+                env[instr.dst.name] = env_dst
+                origins.pop(instr.dst.name, None)
+            return None
+        return None
+
+    def _record_guard(
+        self, instr: If, env: Dict[str, Any], origins: Dict[str, RtLocation]
+    ) -> None:
+        """Note which memory cell (if any) fed this guard. The EventRacer
+        race-coverage filter trusts *primitive* guards only; pointer guards
+        (``x != null``) do not suppress its reports (§6.4 — the source of
+        its false positives)."""
+        for op in (instr.lhs, instr.rhs):
+            if isinstance(op, Var) and op.name in origins:
+                value = env.get(op.name)
+                primitive = isinstance(value, (bool, int, str)) and not isinstance(
+                    value, RtObject
+                )
+                self.rt.push_guard(origins[op.name], primitive)
+                return
+
+    # ------------------------------------------------------------------
+    def _invoke(self, caller: Method, instr: Invoke, env: Dict[str, Any]) -> Any:
+        rt = self.rt
+        name = instr.method_name
+        short = name.rpartition(".")[2] if "." in name else name
+        args = tuple(self._value(env, a) for a in instr.args)
+        receiver = env.get(instr.receiver.name) if instr.receiver is not None else None
+
+        # ---- intrinsics -------------------------------------------------
+        if name.startswith("$nondet$"):
+            return rt.choose_bool()
+        if name.startswith("$event$"):
+            return None  # markers are static-analysis artifacts
+
+        # ---- framework semantics ---------------------------------------
+        if short == "findViewById":
+            return rt.inflated_view(args[0] if args else None)
+        if name == "android.os.Looper.getMainLooper":
+            return rt.main_looper
+        if short == "getLooper" and isinstance(receiver, RtObject):
+            return receiver.fields.setdefault("$looper", RtObject("android.os.Looper"))
+        if short in ("obtain", "obtainMessage"):
+            msg = RtObject("android.os.Message")
+            if short == "obtainMessage" and isinstance(receiver, RtObject):
+                msg.fields["target"] = receiver
+            return msg
+        if short == "getExtras":
+            return RtObject("android.os.Bundle")
+        if short == "<init>" and isinstance(receiver, RtObject):
+            if self.program.is_subtype(receiver.class_name, "android.os.Handler") and args:
+                receiver.fields["looper"] = args[0]
+            elif self.program.is_subtype(receiver.class_name, "java.lang.Thread") and args:
+                receiver.fields["target"] = args[0]
+            # fall through: also run an app-defined constructor if present
+        if isinstance(receiver, RtObject):
+            cls = receiver.class_name
+            if short in LISTENER_REGISTRATIONS and instr.kind is InvokeKind.VIRTUAL:
+                rt.register_listener(short, receiver, instr, args)
+                return None
+            if short in ("unregisterReceiver", "unbindService") and args:
+                rt.unregister_listener(args[0])
+                return None
+            if short in POST_APIS and self.program.is_subtype(cls, "android.os.Handler"):
+                rt.enqueue_runnable(args[0] if args else None, caller)
+                return True
+            if short == "post" and self.program.is_subtype(cls, "android.view.View"):
+                rt.enqueue_runnable(args[0] if args else None, caller)
+                return True
+            if short in SEND_APIS and self.program.is_subtype(cls, "android.os.Handler"):
+                rt.enqueue_message(receiver, args[0] if args else None, caller)
+                return True
+            if short in UI_POST_APIS:
+                rt.enqueue_runnable(args[0] if args else None, caller)
+                return None
+            if short in THREAD_START_APIS and self.program.is_subtype(cls, "java.lang.Thread"):
+                rt.spawn_thread(receiver, caller)
+                return None
+            if short in ASYNC_EXECUTE_APIS and self.program.is_subtype(
+                cls, "android.os.AsyncTask"
+            ):
+                rt.launch_async_task(receiver, caller)
+                return None
+        if short in UI_POST_APIS:
+            rt.enqueue_runnable(args[0] if args else None, caller)
+            return None
+
+        # ---- ordinary dispatch ------------------------------------------
+        callee: Optional[Method] = None
+        target_receiver = receiver
+        if instr.kind is InvokeKind.VIRTUAL and isinstance(receiver, RtObject):
+            callee = self.program.resolve_method(receiver.class_name, name)
+        elif instr.kind in (InvokeKind.STATIC, InvokeKind.SPECIAL):
+            callee = self.program.lookup_static(name)
+        if callee is None or not callee.body:
+            return None  # framework model methods: no-op
+        return self.run_method(callee, target_receiver, args)
+
+
+class _ReturnMarker:
+    pass
+
+
+_RETURN = _ReturnMarker()
+
+
+def _binop(op: BinOp, lhs: Any, rhs: Any) -> Any:
+    try:
+        if op is BinOp.ADD:
+            return (lhs or 0) + (rhs or 0)
+        if op is BinOp.SUB:
+            return (lhs or 0) - (rhs or 0)
+        if op is BinOp.MUL:
+            return (lhs or 0) * (rhs or 0)
+        if op is BinOp.DIV:
+            return (lhs or 0) // (rhs or 1)
+        if op is BinOp.AND:
+            return bool(lhs) and bool(rhs)
+        return bool(lhs) or bool(rhs)
+    except Exception:
+        return None
+
+
+def _safe_cmp(op: CmpOp, lhs: Any, rhs: Any) -> bool:
+    try:
+        if op in (CmpOp.EQ, CmpOp.NE):
+            return op.evaluate(lhs, rhs)
+        if lhs is None or rhs is None:
+            return False
+        return op.evaluate(lhs, rhs)
+    except Exception:
+        return False

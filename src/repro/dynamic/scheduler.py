@@ -1,0 +1,463 @@
+"""Runtime state and the schedule-exploring execution driver.
+
+The driver plays the Android Framework: it walks each activity through its
+lifecycle, fires registered GUI/system events while the activity is resumed,
+pumps the main looper queue in FIFO order, and interleaves background
+threads — all choices drawn from a seeded RNG, one execution per seed
+(EventRacer-style dynamic exploration: only what a schedule executes can be
+observed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.android.apk import Apk
+from repro.android.framework import LISTENER_REGISTRATIONS, CallbackKind
+from repro.dynamic.interpreter import (
+    AccessRecord,
+    Interpreter,
+    PendingTask,
+    RtLocation,
+    RtObject,
+)
+from repro.ir.instructions import Invoke
+from repro.ir.program import Method
+
+
+@dataclass
+class DynEvent:
+    """One atomic dynamic event (callback / message / thread body)."""
+
+    id: int
+    label: str
+    kind: str
+    thread: str  # "main" or "bg<N>"
+    parents: Tuple[int, ...] = ()
+
+
+@dataclass
+class Registration:
+    kind: CallbackKind
+    listener: RtObject
+    callback_methods: Tuple[str, ...]
+    view: Optional[RtObject]
+    registered_in_event: int
+
+
+@dataclass
+class Trace:
+    """Everything observed in one schedule."""
+
+    seed: int
+    events: List[DynEvent] = field(default_factory=list)
+    accesses: List[AccessRecord] = field(default_factory=list)
+    exceptions: List[Tuple[int, str, str]] = field(default_factory=list)
+
+    def event(self, event_id: int) -> DynEvent:
+        return self.events[event_id]
+
+
+class Runtime:
+    """Mutable runtime state shared by interpreter and driver."""
+
+    def __init__(self, apk: Apk, rng: random.Random, trace: Trace):
+        self.apk = apk
+        self.rng = rng
+        self.trace = trace
+        self.statics: Dict[Tuple[str, str], Any] = {}
+        self.main_looper = RtObject("android.os.Looper")
+        self._views: Dict[Any, RtObject] = {}
+        self.main_queue: List[PendingTask] = []
+        self.bg_tasks: List[PendingTask] = []
+        self.registrations: List[Registration] = []
+        self.current_event: int = -1
+        self._guards: List[Tuple[RtLocation, bool]] = []
+        self._bg_counter = 0
+        self._enqueue_seq = 0
+
+    def next_seq(self) -> int:
+        self._enqueue_seq += 1
+        return self._enqueue_seq
+
+    # ------------------------------------------------------------------
+    # event bookkeeping (driver-controlled)
+    # ------------------------------------------------------------------
+    def begin_event(self, label: str, kind: str, thread: str, parents: Tuple[int, ...]) -> DynEvent:
+        event = DynEvent(
+            id=len(self.trace.events), label=label, kind=kind, thread=thread, parents=parents
+        )
+        self.trace.events.append(event)
+        self.current_event = event.id
+        self._guards = []
+        return event
+
+    def push_guard(self, location: RtLocation, primitive: bool) -> None:
+        self._guards.append((location, primitive))
+
+    @staticmethod
+    def _observable(value: object) -> object:
+        """A hashable, order-comparable rendering of a stored value."""
+        if isinstance(value, RtObject):
+            return f"<{value.class_name}>"
+        return value
+
+    def record_access(
+        self, obj: RtObject, field_name: str, kind: str, method: Method, value: object = None
+    ) -> RtLocation:
+        location = RtLocation(base=obj.oid, field=field_name, base_class=obj.class_name)
+        self.trace.accesses.append(
+            AccessRecord(
+                event_id=self.current_event,
+                location=location,
+                kind=kind,
+                field_name=field_name,
+                method=method.signature,
+                guards=tuple(self._guards),
+                value=self._observable(value),
+            )
+        )
+        return location
+
+    def record_static_access(
+        self, class_name: str, field_name: str, kind: str, method: Method, value: object = None
+    ) -> RtLocation:
+        location = RtLocation(base=class_name, field=field_name, base_class=class_name)
+        self.trace.accesses.append(
+            AccessRecord(
+                event_id=self.current_event,
+                location=location,
+                kind=kind,
+                field_name=field_name,
+                method=method.signature,
+                guards=tuple(self._guards),
+                value=self._observable(value),
+            )
+        )
+        return location
+
+    def record_exception(self, method: Method, kind: str) -> None:
+        self.trace.exceptions.append((self.current_event, method.signature, kind))
+
+    def choose_bool(self) -> bool:
+        return self.rng.random() < 0.5
+
+    # ------------------------------------------------------------------
+    # framework services (interpreter-facing)
+    # ------------------------------------------------------------------
+    def inflated_view(self, view_id: Any) -> RtObject:
+        if view_id not in self._views:
+            decl = self.apk.layouts.resolve_view(view_id) if isinstance(view_id, int) else None
+            widget = decl.widget_class if decl else "android.view.View"
+            self._views[view_id] = RtObject(widget)
+        return self._views[view_id]
+
+    def register_listener(
+        self, api: str, receiver: RtObject, instr: Invoke, args: Tuple[Any, ...]
+    ) -> None:
+        spec = LISTENER_REGISTRATIONS[api]
+        index = spec.listener_arg_index
+        listener = args[index] if index < len(args) else None
+        if not isinstance(listener, RtObject):
+            return
+        self.registrations.append(
+            Registration(
+                kind=spec.kind,
+                listener=listener,
+                callback_methods=spec.callback_methods,
+                view=receiver if spec.kind is CallbackKind.GUI else None,
+                registered_in_event=self.current_event,
+            )
+        )
+
+    def unregister_listener(self, listener: Any) -> None:
+        self.registrations = [r for r in self.registrations if r.listener is not listener]
+
+    def enqueue_runnable(self, runnable: Any, caller: Method) -> None:
+        if not isinstance(runnable, RtObject):
+            return
+        method = self.apk.program.resolve_method(runnable.class_name, "run")
+        if method is None or not method.body:
+            return
+        self.main_queue.append(
+            PendingTask(
+                kind="message",
+                method=method,
+                receiver=runnable,
+                poster_event=self.current_event,
+                label=f"{runnable.class_name.rpartition('.')[2]}.run",
+                seq=self.next_seq(),
+            )
+        )
+
+    def enqueue_message(self, handler: RtObject, msg: Any, caller: Method) -> None:
+        method = self.apk.program.resolve_method(handler.class_name, "handleMessage")
+        if method is None or not method.body:
+            return
+        self.main_queue.append(
+            PendingTask(
+                kind="message",
+                method=method,
+                receiver=handler,
+                args=(msg,),
+                poster_event=self.current_event,
+                label=f"{handler.class_name.rpartition('.')[2]}.handleMessage",
+                seq=self.next_seq(),
+            )
+        )
+
+    def spawn_thread(self, thread: RtObject, caller: Method) -> None:
+        method = self.apk.program.resolve_method(thread.class_name, "run")
+        receiver: Optional[RtObject] = thread
+        if (method is None or not method.body) and isinstance(
+            thread.fields.get("target"), RtObject
+        ):
+            target = thread.fields["target"]
+            method = self.apk.program.resolve_method(target.class_name, "run")
+            receiver = target
+        if method is None or not method.body:
+            return
+        self.bg_tasks.append(
+            PendingTask(
+                kind="thread",
+                method=method,
+                receiver=receiver,
+                poster_event=self.current_event,
+                label=f"{receiver.class_name.rpartition('.')[2]}.run",
+            )
+        )
+
+    def launch_async_task(self, task: RtObject, caller: Method) -> None:
+        bg = self.apk.program.resolve_method(task.class_name, "doInBackground")
+        if bg is None or not bg.body:
+            return
+        self.bg_tasks.append(
+            PendingTask(
+                kind="async-bg",
+                method=bg,
+                receiver=task,
+                poster_event=self.current_event,
+                label=f"{task.class_name.rpartition('.')[2]}.doInBackground",
+            )
+        )
+
+
+#: lifecycle transitions the driver may take per current state
+_LIFECYCLE_CHOICES = {
+    "init": [("onCreate", "created")],
+    "created": [("onStart", "started")],
+    "started": [("onResume", "resumed")],
+    "resumed": [("onPause", "paused")],
+    "paused": [("onResume", "resumed"), ("onStop", "stopped")],
+    "stopped": [("onRestart", "started-restart"), ("onDestroy", "destroyed")],
+    "started-restart": [("onStart", "started")],
+}
+
+
+@dataclass
+class _ActivityState:
+    class_name: str
+    instance: RtObject
+    state: str = "init"
+    last_lifecycle_event: Optional[int] = None
+    create_event: Optional[int] = None
+
+
+class ExecutionDriver:
+    """Runs one seeded schedule over an APK and returns its trace.
+
+    ``max_activities`` models the dynamic detector's coverage problem: real
+    GUI exploration rarely reaches deep activities, so by default only the
+    first few manifest activities are driven — exactly why EventRacer misses
+    races SIERRA finds (§6.4).
+    """
+
+    def __init__(
+        self, apk: Apk, seed: int = 0, max_events: int = 60, max_activities: int = 3
+    ):
+        self.apk = apk
+        self.seed = seed
+        self.max_events = max_events
+        self.max_activities = max_activities
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        rng = random.Random(self.seed)
+        trace = Trace(seed=self.seed)
+        rt = Runtime(self.apk, rng, trace)
+        interp = Interpreter(self.apk, rt)
+        program = self.apk.program
+        # incrementally maintained ancestor sets (mirrors TraceOrder) —
+        # needed online for the looper-FIFO HB rule below
+        ancestors: List[Set[int]] = []
+        # executed main-queue messages: (event_id, poster_event, enqueue_seq)
+        executed_messages: List[Tuple[int, Optional[int], int]] = []
+
+        activities = [
+            _ActivityState(decl.class_name, RtObject(decl.class_name))
+            for decl in self.apk.manifest.activities[: self.max_activities]
+        ]
+        static_handlers: Dict[str, List[str]] = {}
+        for decl in self.apk.manifest.activities:
+            handlers: List[str] = []
+            if decl.layout is not None:
+                for view in self.apk.layouts.layout(decl.layout):
+                    handlers.extend(h for _e, h in view.static_callbacks)
+            for flow in decl.gui_flows:
+                handlers.extend(h for h in flow if h not in handlers)
+            static_handlers[decl.class_name] = list(dict.fromkeys(handlers))
+
+        manifest_receivers = [
+            RtObject(r.class_name) for r in self.apk.manifest.receivers
+        ]
+
+        def exec_event(label, kind, method, receiver, args=(), parents=(), thread="main"):
+            rt.begin_event(label, kind, thread, tuple(p for p in parents if p is not None))
+            event_id = rt.current_event
+            anc: Set[int] = set()
+            for p in trace.events[event_id].parents:
+                anc.add(p)
+                anc |= ancestors[p]
+            ancestors.append(anc)
+            interp.run_method(method, receiver, tuple(args))
+            if kind == "async-bg" and isinstance(receiver, RtObject):
+                post = program.resolve_method(receiver.class_name, "onPostExecute")
+                if post is not None and post.body:
+                    rt.main_queue.append(
+                        PendingTask(
+                            kind="async-post",
+                            method=post,
+                            receiver=receiver,
+                            poster_event=event_id,
+                            label=f"{receiver.class_name.rpartition('.')[2]}.onPostExecute",
+                            seq=rt.next_seq(),
+                        )
+                    )
+            return event_id
+
+        steps = 0
+        while steps < self.max_events:
+            steps += 1
+            choices: List[Tuple] = []
+
+            for act in activities:
+                for callback, next_state in _LIFECYCLE_CHOICES.get(act.state, ()):  # lifecycle
+                    method = program.resolve_method(act.class_name, callback)
+                    if method is not None and method.body:
+                        choices.append(("lifecycle", act, callback, next_state, method))
+                    elif callback in ("onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart", "onDestroy"):
+                        # un-overridden callbacks still advance the state machine
+                        choices.append(("lifecycle-skip", act, callback, next_state, None))
+
+            for act in activities:
+                if act.state != "resumed":
+                    continue
+                for handler in static_handlers.get(act.class_name, ()):  # layout handlers
+                    method = program.resolve_method(act.class_name, handler)
+                    if method is not None and method.body:
+                        choices.append(("gui-static", act, handler, method))
+            any_resumed = any(a.state == "resumed" for a in activities)
+            for reg in rt.registrations:
+                if reg.kind is CallbackKind.GUI and not any_resumed:
+                    continue  # no visible activity: no GUI input possible
+                for cb in reg.callback_methods:
+                    method = program.resolve_method(reg.listener.class_name, cb)
+                    if method is not None and method.body:
+                        choices.append(("listener", reg, cb, method))
+
+            for recv in manifest_receivers:
+                method = program.resolve_method(recv.class_name, "onReceive")
+                if method is not None and method.body:
+                    choices.append(("manifest-receiver", recv, method))
+
+            if rt.main_queue:
+                choices.append(("message", rt.main_queue[0]))  # FIFO: head only
+            for i, task in enumerate(rt.bg_tasks):
+                choices.append(("bg", i, task))
+
+            if not choices:
+                break
+            choice = rng.choice(choices)
+            tag = choice[0]
+
+            if tag == "lifecycle":
+                _, act, callback, next_state, method = choice
+                event_id = exec_event(
+                    f"{act.class_name.rpartition('.')[2]}.{callback}",
+                    "lifecycle",
+                    method,
+                    act.instance,
+                    parents=(act.last_lifecycle_event,),
+                )
+                act.state = next_state
+                act.last_lifecycle_event = event_id
+                if callback == "onCreate":
+                    act.create_event = event_id
+            elif tag == "lifecycle-skip":
+                _, act, callback, next_state, _m = choice
+                act.state = next_state
+            elif tag == "gui-static":
+                _, act, handler, method = choice
+                exec_event(
+                    f"{act.class_name.rpartition('.')[2]}.{handler}",
+                    "gui",
+                    method,
+                    act.instance,
+                    parents=(act.create_event,),
+                )
+            elif tag == "listener":
+                _, reg, cb, method = choice
+                exec_event(
+                    f"{reg.listener.class_name.rpartition('.')[2]}.{cb}",
+                    "gui" if reg.kind is CallbackKind.GUI else "system",
+                    method,
+                    reg.listener,
+                    args=(reg.view,) if method.params else (),
+                    parents=(reg.registered_in_event,),
+                )
+            elif tag == "manifest-receiver":
+                _, recv, method = choice
+                exec_event(
+                    f"{recv.class_name.rpartition('.')[2]}.onReceive",
+                    "system",
+                    method,
+                    recv,
+                )
+            elif tag == "message":
+                task = rt.main_queue.pop(0)
+                # EventRacer's looper-FIFO rule: a message whose enqueue is
+                # HB-ordered after an already-executed message's enqueue on
+                # the same queue is also HB-ordered after that message (the
+                # queue cannot reorder causally-ordered sends). Unordered
+                # enqueues stay unordered — that is the event-race source.
+                fifo_parents = []
+                if task.poster_event is not None:
+                    poster_anc = ancestors[task.poster_event] | {task.poster_event}
+                    for done_id, done_poster, done_seq in executed_messages:
+                        if done_seq < task.seq and done_poster in poster_anc:
+                            fifo_parents.append(done_id)
+                event_id = exec_event(
+                    task.label,
+                    task.kind,
+                    task.method,
+                    task.receiver,
+                    args=task.args,
+                    parents=(task.poster_event, *fifo_parents),
+                )
+                executed_messages.append((event_id, task.poster_event, task.seq))
+            elif tag == "bg":
+                _, index, task = choice
+                rt.bg_tasks.pop(index)
+                rt._bg_counter += 1
+                exec_event(
+                    task.label,
+                    task.kind,
+                    task.method,
+                    task.receiver,
+                    args=task.args,
+                    parents=(task.poster_event,),
+                    thread=f"bg{rt._bg_counter}",
+                )
+        return trace

@@ -1,0 +1,75 @@
+"""Happens-before over dynamic traces.
+
+Dynamic events form a DAG: posting/registration/lifecycle edges point from
+parent to child. Because events are atomic (looper atomicity) the classical
+per-thread vector clock degenerates to per-event causality, so we provide
+both views over one computation:
+
+* :class:`VectorClock` — the textbook representation (component per event,
+  joined along parent edges), kept because EventRacer is vector-clock based;
+* :func:`happens_before` — the derived partial order the detector queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.dynamic.scheduler import DynEvent, Trace
+
+
+@dataclass
+class VectorClock:
+    """A sparse vector clock: event id -> logical component."""
+
+    components: Dict[int, int]
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """self ≥ other pointwise (other happened before or equals self)."""
+        for key, value in other.components.items():
+            if self.components.get(key, 0) < value:
+                return False
+        return True
+
+    @staticmethod
+    def join(clocks: Sequence["VectorClock"]) -> "VectorClock":
+        merged: Dict[int, int] = {}
+        for clock in clocks:
+            for key, value in clock.components.items():
+                if merged.get(key, 0) < value:
+                    merged[key] = value
+        return VectorClock(merged)
+
+
+class TraceOrder:
+    """The happens-before relation of one trace."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.clocks: List[VectorClock] = []
+        self._ancestors: List[Set[int]] = []
+        for event in trace.events:
+            parent_clocks = [self.clocks[p] for p in event.parents]
+            clock = VectorClock.join(parent_clocks)
+            clock.components[event.id] = clock.components.get(event.id, 0) + 1
+            self.clocks.append(clock)
+            ancestors: Set[int] = set()
+            for parent in event.parents:
+                ancestors.add(parent)
+                ancestors |= self._ancestors[parent]
+            self._ancestors.append(ancestors)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """Did event ``a`` causally precede event ``b``?"""
+        return a in self._ancestors[b]
+
+    def concurrent(self, a: int, b: int) -> bool:
+        return (
+            a != b
+            and not self.happens_before(a, b)
+            and not self.happens_before(b, a)
+        )
+
+
+def happens_before(trace: Trace, a: int, b: int) -> bool:
+    return TraceOrder(trace).happens_before(a, b)

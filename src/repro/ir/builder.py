@@ -1,0 +1,268 @@
+"""A fluent builder for constructing IR programs.
+
+Tests, examples and the synthetic corpus generator all express apps through
+this API, e.g.::
+
+    pb = ProgramBuilder()
+    activity = pb.new_class("com.news.NewsActivity", superclass="android.app.Activity")
+    activity.field("adapter", class_type("com.news.NewsAdapter"))
+    on_create = activity.method("onCreate")
+    on_create.new("a", "com.news.NewsAdapter")
+    on_create.store("this", "adapter", "a")
+    on_create.ret()
+
+Operand coercion rules: a ``str`` names a register, Python ``int``/``bool``/
+``None`` become constants, and string *literals* are wrapped explicitly with
+:func:`lit`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    Binary,
+    BinOp,
+    CmpOp,
+    Compare,
+    Const,
+    FieldLoad,
+    FieldStore,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    InvokeKind,
+    New,
+    Nop,
+    Operand,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Var,
+)
+from repro.ir.program import ClassDef, FieldDef, Method, Program
+from repro.ir.types import Type, VOID, class_type
+
+Coercible = Union[str, int, bool, None, Var, Const]
+
+
+def lit(value: Union[str, int, bool, None]) -> Const:
+    """Wrap a literal (use this for string constants, which would otherwise
+    be read as register names)."""
+    return Const(value)
+
+
+def _operand(value: Coercible) -> Operand:
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(value)
+
+
+def _var(value: Union[str, Var]) -> Var:
+    return value if isinstance(value, Var) else Var(value)
+
+
+class MethodBuilder:
+    """Appends instructions to one method; every emitter returns the
+    instruction so callers can hang HB/race assertions off exact sites."""
+
+    def __init__(self, method: Method):
+        self.method = method
+        self._pending_label: Optional[str] = None
+        self._lineno = 0
+
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "MethodBuilder":
+        """Attach ``name`` to the next emitted instruction."""
+        self._pending_label = name
+        return self
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if self._pending_label is not None:
+            instr.label = self._pending_label
+            self._pending_label = None
+        self._lineno += 1
+        instr.lineno = self._lineno
+        return self.method.append(instr)
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def const(self, dst: str, value: Union[int, bool, str, None]) -> Instruction:
+        return self._emit(Assign(_var(dst), Const(value)))
+
+    def move(self, dst: str, src: Coercible) -> Instruction:
+        return self._emit(Assign(_var(dst), _operand(src)))
+
+    def new(self, dst: str, cls: str) -> Instruction:
+        return self._emit(New(_var(dst), cls))
+
+    def load(self, dst: str, obj: str, field: str) -> Instruction:
+        return self._emit(FieldLoad(_var(dst), _var(obj), field))
+
+    def store(self, obj: str, field: str, src: Coercible) -> Instruction:
+        return self._emit(FieldStore(_var(obj), field, _operand(src)))
+
+    def sload(self, dst: str, cls: str, field: str) -> Instruction:
+        return self._emit(StaticLoad(_var(dst), cls, field))
+
+    def sstore(self, cls: str, field: str, src: Coercible) -> Instruction:
+        return self._emit(StaticStore(cls, field, _operand(src)))
+
+    def aload(self, dst: str, arr: str, index: Coercible = 0) -> Instruction:
+        return self._emit(ArrayLoad(_var(dst), _var(arr), _operand(index)))
+
+    def astore(self, arr: str, index: Coercible, src: Coercible) -> Instruction:
+        return self._emit(ArrayStore(_var(arr), _operand(index), _operand(src)))
+
+    def binop(self, dst: str, lhs: Coercible, op: BinOp, rhs: Coercible) -> Instruction:
+        return self._emit(Binary(_var(dst), op, _operand(lhs), _operand(rhs)))
+
+    def cmp(self, dst: str, lhs: Coercible, op: CmpOp, rhs: Coercible) -> Instruction:
+        return self._emit(Compare(_var(dst), op, _operand(lhs), _operand(rhs)))
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def if_(self, lhs: Coercible, op: CmpOp, rhs: Coercible, target: str) -> Instruction:
+        return self._emit(If(op, _operand(lhs), _operand(rhs), target))
+
+    def if_true(self, cond: Coercible, target: str) -> Instruction:
+        return self.if_(cond, CmpOp.EQ, True, target)
+
+    def if_false(self, cond: Coercible, target: str) -> Instruction:
+        return self.if_(cond, CmpOp.EQ, False, target)
+
+    def if_null(self, ref: Coercible, target: str) -> Instruction:
+        return self.if_(ref, CmpOp.EQ, None, target)
+
+    def if_not_null(self, ref: Coercible, target: str) -> Instruction:
+        return self.if_(ref, CmpOp.NE, None, target)
+
+    def goto(self, target: str) -> Instruction:
+        return self._emit(Goto(target))
+
+    def nop(self) -> Instruction:
+        return self._emit(Nop())
+
+    def ret(self, value: Optional[Coercible] = None) -> Instruction:
+        operand = _operand(value) if value is not None else None
+        return self._emit(Return(operand))
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        receiver: str,
+        method: str,
+        *args: Coercible,
+        dst: Optional[str] = None,
+    ) -> Instruction:
+        """Virtual call ``dst = receiver.method(args)``."""
+        return self._emit(
+            Invoke(
+                dst=_var(dst) if dst else None,
+                kind=InvokeKind.VIRTUAL,
+                method_name=method,
+                receiver=_var(receiver),
+                args=tuple(_operand(a) for a in args),
+            )
+        )
+
+    def call_static(self, qualified: str, *args: Coercible, dst: Optional[str] = None) -> Instruction:
+        return self._emit(
+            Invoke(
+                dst=_var(dst) if dst else None,
+                kind=InvokeKind.STATIC,
+                method_name=qualified,
+                receiver=None,
+                args=tuple(_operand(a) for a in args),
+            )
+        )
+
+    def call_special(
+        self,
+        receiver: str,
+        qualified: str,
+        *args: Coercible,
+        dst: Optional[str] = None,
+    ) -> Instruction:
+        """Direct (non-dispatched) call, e.g. a constructor."""
+        return self._emit(
+            Invoke(
+                dst=_var(dst) if dst else None,
+                kind=InvokeKind.SPECIAL,
+                method_name=qualified,
+                receiver=_var(receiver),
+                args=tuple(_operand(a) for a in args),
+            )
+        )
+
+
+class ClassBuilder:
+    def __init__(self, cls: ClassDef, program: Program):
+        self.cls = cls
+        self._program = program
+
+    @property
+    def name(self) -> str:
+        return self.cls.name
+
+    def field(self, name: str, type: Union[Type, str], is_static: bool = False) -> FieldDef:
+        resolved = class_type(type) if isinstance(type, str) else type
+        return self.cls.add_field(name, resolved, is_static=is_static)
+
+    def method(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+        is_static: bool = False,
+    ) -> MethodBuilder:
+        method = Method(
+            class_name=self.cls.name,
+            name=name,
+            params=params,
+            return_type=return_type,
+            is_static=is_static,
+        )
+        self.cls.add_method(method)
+        return MethodBuilder(method)
+
+
+class ProgramBuilder:
+    """Top-level builder; ``install_framework`` hooks the Android model in."""
+
+    def __init__(self, program: Optional[Program] = None):
+        self.program = program if program is not None else Program()
+
+    def new_class(
+        self,
+        name: str,
+        superclass: str = "java.lang.Object",
+        interfaces: Sequence[str] = (),
+        is_interface: bool = False,
+        is_framework: bool = False,
+    ) -> ClassBuilder:
+        cls = ClassDef(
+            name,
+            superclass=superclass,
+            interfaces=interfaces,
+            is_interface=is_interface,
+            is_framework=is_framework,
+        )
+        self.program.add_class(cls)
+        return ClassBuilder(cls, self.program)
+
+    def class_builder(self, name: str) -> ClassBuilder:
+        return ClassBuilder(self.program.class_of(name), self.program)
+
+    def build(self) -> Program:
+        return self.program

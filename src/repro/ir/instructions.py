@@ -1,0 +1,277 @@
+"""Register-based IR instructions.
+
+The instruction set mirrors the subset of Dalvik that SIERRA's analyses
+observe: allocations (points-to roots), field/array traffic (the memory
+accesses races are made of), invocations (call-graph edges and action posts),
+and branches (path constraints for the symbolic refuter).
+
+Instructions are plain dataclasses; control flow uses symbolic labels that
+:mod:`repro.ir.cfg` resolves into basic blocks. Operands are either a
+:class:`Var` (virtual register) or a :class:`Const` literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A virtual register (or parameter / ``this``)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal: int, bool, str or None (the null reference)."""
+
+    value: Union[int, bool, str, None]
+
+    def __repr__(self) -> str:
+        return f"#{self.value!r}"
+
+
+Operand = Union[Var, Const]
+
+NULL = Const(None)
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class InvokeKind(Enum):
+    VIRTUAL = "virtual"  # dynamic dispatch through the receiver
+    STATIC = "static"  # no receiver
+    SPECIAL = "special"  # constructors / direct calls (no dispatch)
+
+
+class CmpOp(Enum):
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def negate(self) -> "CmpOp":
+        return _NEGATIONS[self]
+
+    def evaluate(self, lhs: object, rhs: object) -> bool:
+        if self is CmpOp.EQ:
+            return lhs == rhs
+        if self is CmpOp.NE:
+            return lhs != rhs
+        # Ordered comparisons require comparable concrete values.
+        assert lhs is not None and rhs is not None
+        if self is CmpOp.LT:
+            return lhs < rhs  # type: ignore[operator]
+        if self is CmpOp.LE:
+            return lhs <= rhs  # type: ignore[operator]
+        if self is CmpOp.GT:
+            return lhs > rhs  # type: ignore[operator]
+        return lhs >= rhs  # type: ignore[operator]
+
+
+_NEGATIONS = {
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.GE: CmpOp.LT,
+}
+
+
+class BinOp(Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    AND = "&&"
+    OR = "||"
+
+
+@dataclass
+class Instruction:
+    """Base class; ``label`` marks branch targets, ``lineno`` aids reports."""
+
+    label: Optional[str] = field(default=None, kw_only=True)
+    lineno: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Assign(Instruction):
+    """``dst = src`` register copy (or constant load)."""
+
+    dst: Var
+    src: Operand
+
+
+@dataclass
+class New(Instruction):
+    """``dst = new ClassName()`` — an allocation site (points-to root)."""
+
+    dst: Var
+    class_name: str
+
+
+@dataclass
+class FieldLoad(Instruction):
+    """``dst = obj.field`` — a heap *read* access."""
+
+    dst: Var
+    obj: Var
+    field_name: str
+
+
+@dataclass
+class FieldStore(Instruction):
+    """``obj.field = src`` — a heap *write* access."""
+
+    obj: Var
+    field_name: str
+    src: Operand
+
+
+@dataclass
+class StaticLoad(Instruction):
+    """``dst = ClassName.field`` — a static read access."""
+
+    dst: Var
+    class_name: str
+    field_name: str
+
+
+@dataclass
+class StaticStore(Instruction):
+    """``ClassName.field = src`` — a static write access."""
+
+    class_name: str
+    field_name: str
+    src: Operand
+
+
+@dataclass
+class ArrayLoad(Instruction):
+    """``dst = arr[idx]`` — handled index-insensitively by the analyses."""
+
+    dst: Var
+    arr: Var
+    index: Operand
+
+
+@dataclass
+class ArrayStore(Instruction):
+    """``arr[idx] = src`` — index-insensitive write."""
+
+    arr: Var
+    index: Operand
+    src: Operand
+
+
+@dataclass
+class Binary(Instruction):
+    """``dst = lhs <op> rhs`` arithmetic / logic."""
+
+    dst: Var
+    op: BinOp
+    lhs: Operand
+    rhs: Operand
+
+
+@dataclass
+class Compare(Instruction):
+    """``dst = lhs <cmp> rhs`` producing a boolean register."""
+
+    dst: Var
+    op: CmpOp
+    lhs: Operand
+    rhs: Operand
+
+
+@dataclass
+class If(Instruction):
+    """``if (lhs <op> rhs) goto target`` — else fall through."""
+
+    op: CmpOp
+    lhs: Operand
+    rhs: Operand
+    target: str
+
+
+@dataclass
+class Goto(Instruction):
+    target: str
+
+
+@dataclass
+class Return(Instruction):
+    value: Optional[Operand] = None
+
+
+@dataclass
+class Invoke(Instruction):
+    """A method invocation.
+
+    ``method_name`` is unqualified for VIRTUAL calls (resolved through the
+    receiver's points-to set and the class hierarchy) and fully qualified as
+    ``pkg.Class.method`` for STATIC / SPECIAL calls.
+    """
+
+    dst: Optional[Var]
+    kind: InvokeKind
+    method_name: str
+    receiver: Optional[Var]
+    args: Tuple[Operand, ...] = ()
+
+    def describe(self) -> str:
+        recv = f"{self.receiver}." if self.receiver is not None else ""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{recv}{self.method_name}({args})"
+
+
+@dataclass
+class Nop(Instruction):
+    """Placeholder, mainly used to carry a label."""
+
+
+def defined_var(instr: Instruction) -> Optional[Var]:
+    """The register ``instr`` writes, if any."""
+    for attr in ("dst",):
+        value = getattr(instr, attr, None)
+        if isinstance(value, Var):
+            return value
+    return None
+
+
+def used_operands(instr: Instruction) -> List[Operand]:
+    """Every operand ``instr`` reads (registers and constants)."""
+    uses: List[Operand] = []
+    if isinstance(instr, Assign):
+        uses.append(instr.src)
+    elif isinstance(instr, FieldLoad):
+        uses.append(instr.obj)
+    elif isinstance(instr, FieldStore):
+        uses.extend([instr.obj, instr.src])
+    elif isinstance(instr, StaticStore):
+        uses.append(instr.src)
+    elif isinstance(instr, ArrayLoad):
+        uses.extend([instr.arr, instr.index])
+    elif isinstance(instr, ArrayStore):
+        uses.extend([instr.arr, instr.index, instr.src])
+    elif isinstance(instr, (Binary, Compare)):
+        uses.extend([instr.lhs, instr.rhs])
+    elif isinstance(instr, If):
+        uses.extend([instr.lhs, instr.rhs])
+    elif isinstance(instr, Return) and instr.value is not None:
+        uses.append(instr.value)
+    elif isinstance(instr, Invoke):
+        if instr.receiver is not None:
+            uses.append(instr.receiver)
+        uses.extend(instr.args)
+    return uses

@@ -1,0 +1,236 @@
+"""Classes, fields, methods and the whole-program container.
+
+:class:`Program` is the unit every analysis consumes: it owns the class
+hierarchy (for virtual dispatch), the method table, and per-method CFGs
+(built lazily and cached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import Instruction, Var
+from repro.ir.types import Type, VOID
+from repro.util.ids import qualified_name
+
+THIS = Var("this")
+
+
+@dataclass
+class FieldDef:
+    """A declared instance or static field."""
+
+    name: str
+    type: Type
+    is_static: bool = False
+
+
+class Method:
+    """A method: signature plus a flat instruction body.
+
+    ``params`` excludes the implicit receiver; non-static methods always see
+    the receiver as the ``this`` register.
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+        is_static: bool = False,
+        is_abstract: bool = False,
+    ) -> None:
+        self.class_name = class_name
+        self.name = name
+        self.params: List[Tuple[str, Type]] = list(params)
+        self.return_type = return_type
+        self.is_static = is_static
+        self.is_abstract = is_abstract
+        self.body: List[Instruction] = []
+        self._cfg: Optional[ControlFlowGraph] = None
+
+    @property
+    def signature(self) -> str:
+        return qualified_name(self.class_name, self.name)
+
+    @property
+    def param_vars(self) -> List[Var]:
+        names = [Var(name) for name, _ in self.params]
+        if not self.is_static:
+            return [THIS] + names
+        return names
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.body.append(instr)
+        self._cfg = None
+        return instr
+
+    @property
+    def cfg(self) -> ControlFlowGraph:
+        if self._cfg is None:
+            self._cfg = ControlFlowGraph(self.body)
+        return self._cfg
+
+    def instructions(self) -> Iterator[Instruction]:
+        return iter(self.body)
+
+    def __repr__(self) -> str:
+        return f"<Method {self.signature}>"
+
+
+class ClassDef:
+    """A class (or interface): name, supertypes, fields and methods."""
+
+    def __init__(
+        self,
+        name: str,
+        superclass: Optional[str] = "java.lang.Object",
+        interfaces: Sequence[str] = (),
+        is_interface: bool = False,
+        is_framework: bool = False,
+    ) -> None:
+        self.name = name
+        self.superclass = superclass if name != "java.lang.Object" else None
+        self.interfaces: List[str] = list(interfaces)
+        self.is_interface = is_interface
+        # Framework classes come from the Android model, not the app under
+        # analysis; race prioritization (§3.1) ranks app-code races higher.
+        self.is_framework = is_framework
+        self.fields: Dict[str, FieldDef] = {}
+        self.methods: Dict[str, Method] = {}
+
+    def add_field(self, name: str, type: Type, is_static: bool = False) -> FieldDef:
+        fd = FieldDef(name=name, type=type, is_static=is_static)
+        self.fields[name] = fd
+        return fd
+
+    def add_method(self, method: Method) -> Method:
+        self.methods[method.name] = method
+        return method
+
+    def __repr__(self) -> str:
+        return f"<ClassDef {self.name}>"
+
+
+class Program:
+    """The whole program: app classes plus framework model classes."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassDef] = {}
+        self._subtypes_cache: Optional[Dict[str, Set[str]]] = None
+        self.add_class(ClassDef("java.lang.Object", superclass=None, is_framework=True))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_class(self, cls: ClassDef) -> ClassDef:
+        self.classes[cls.name] = cls
+        self._subtypes_cache = None
+        return cls
+
+    def ensure_class(
+        self, name: str, superclass: str = "java.lang.Object", **kwargs
+    ) -> ClassDef:
+        if name not in self.classes:
+            self.add_class(ClassDef(name, superclass=superclass, **kwargs))
+        return self.classes[name]
+
+    # ------------------------------------------------------------------
+    # hierarchy queries
+    # ------------------------------------------------------------------
+    def class_of(self, name: str) -> ClassDef:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"unknown class {name!r}") from None
+
+    def supertypes(self, name: str) -> List[str]:
+        """All supertypes of ``name`` (classes then interfaces), nearest first."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        worklist = [name]
+        while worklist:
+            current = worklist.pop(0)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            parents = ([cls.superclass] if cls.superclass else []) + cls.interfaces
+            for parent in parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    out.append(parent)
+                    worklist.append(parent)
+        return out
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        return sub == sup or sup in self.supertypes(sub)
+
+    def subtypes(self, name: str) -> Set[str]:
+        """All classes that are (transitively) subtypes of ``name``."""
+        if self._subtypes_cache is None:
+            table: Dict[str, Set[str]] = {cname: {cname} for cname in self.classes}
+            for cname in self.classes:
+                for sup in self.supertypes(cname):
+                    table.setdefault(sup, set()).add(cname)
+            self._subtypes_cache = table
+        return set(self._subtypes_cache.get(name, {name}))
+
+    # ------------------------------------------------------------------
+    # member resolution
+    # ------------------------------------------------------------------
+    def resolve_method(self, class_name: str, method_name: str) -> Optional[Method]:
+        """Virtual-dispatch resolution: walk up from ``class_name``."""
+        for cname in [class_name] + self.supertypes(class_name):
+            cls = self.classes.get(cname)
+            if cls and method_name in cls.methods:
+                method = cls.methods[method_name]
+                if not method.is_abstract:
+                    return method
+        return None
+
+    def lookup_static(self, qualified: str) -> Optional[Method]:
+        """Resolve a ``pkg.Class.method`` qualified static/special target."""
+        class_name, _, method_name = qualified.rpartition(".")
+        if not class_name:
+            return None
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        if method_name in cls.methods:
+            return cls.methods[method_name]
+        return self.resolve_method(class_name, method_name)
+
+    def resolve_field(self, class_name: str, field_name: str) -> Optional[Tuple[str, FieldDef]]:
+        """Find the declaring class of ``field_name`` starting at ``class_name``."""
+        for cname in [class_name] + self.supertypes(class_name):
+            cls = self.classes.get(cname)
+            if cls and field_name in cls.fields:
+                return cname, cls.fields[field_name]
+        return None
+
+    # ------------------------------------------------------------------
+    # iteration / stats
+    # ------------------------------------------------------------------
+    def app_classes(self) -> List[ClassDef]:
+        return [c for c in self.classes.values() if not c.is_framework]
+
+    def all_methods(self) -> Iterator[Method]:
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+    def app_methods(self) -> Iterator[Method]:
+        for cls in self.app_classes():
+            yield from cls.methods.values()
+
+    def instruction_count(self) -> int:
+        return sum(len(m.body) for m in self.all_methods())
+
+    def bytecode_size_bytes(self) -> int:
+        """A rough .dex-size proxy: instructions weighted like Dalvik units."""
+        return self.instruction_count() * 16 + len(self.classes) * 64
+
+    def __repr__(self) -> str:
+        return f"<Program classes={len(self.classes)} methods={sum(1 for _ in self.all_methods())}>"

@@ -1,0 +1,100 @@
+"""Structural validation of IR programs.
+
+Run by the corpus generator on everything it emits and by tests on every
+hand-built app: a malformed IR would otherwise surface as a confusing
+analysis wrong-answer far downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.ir.instructions import (
+    Const,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    InvokeKind,
+    New,
+    Var,
+    defined_var,
+    used_operands,
+)
+from repro.ir.program import Method, Program
+
+
+@dataclass
+class ValidationReport:
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+def validate_method(method: Method, program: Program, report: ValidationReport) -> None:
+    labels: Set[str] = {i.label for i in method.body if i.label}
+    defined: Set[str] = {v.name for v in method.param_vars}
+
+    for instr in method.body:
+        if isinstance(instr, (Goto, If)) and instr.target not in labels:
+            report.error(f"{method.signature}: branch to unknown label {instr.target!r}")
+        if isinstance(instr, New) and instr.class_name not in program.classes:
+            report.error(
+                f"{method.signature}: allocation of unknown class {instr.class_name!r}"
+            )
+        if isinstance(instr, Invoke) and instr.kind in (InvokeKind.STATIC, InvokeKind.SPECIAL):
+            # "$"-prefixed targets are analysis intrinsics ($nondet$, $event$N)
+            if not instr.method_name.startswith("$") and program.lookup_static(instr.method_name) is None:
+                report.warn(
+                    f"{method.signature}: unresolved direct call {instr.method_name!r}"
+                )
+        dst = defined_var(instr)
+        if dst is not None:
+            defined.add(dst.name)
+
+    # A second pass for use-before-def would require full dataflow; a cheap
+    # whole-method check already catches the common builder typos (a register
+    # read but never written anywhere in the method).
+    for instr in method.body:
+        for op in used_operands(instr):
+            if isinstance(op, Var) and op.name not in defined:
+                report.error(
+                    f"{method.signature}: register {op.name!r} used but never defined"
+                )
+        obj = getattr(instr, "obj", None)
+        if isinstance(obj, Var) and obj.name not in defined:
+            report.error(
+                f"{method.signature}: receiver register {obj.name!r} never defined"
+            )
+
+    if method.body and not labels and not any(isinstance(i, (Goto, If)) for i in method.body):
+        # straight-line method; nothing further to check
+        return
+    try:
+        method.cfg  # noqa: B018 - building the CFG is itself the check
+    except ValueError as exc:
+        report.error(f"{method.signature}: {exc}")
+
+
+def validate_program(program: Program) -> ValidationReport:
+    """Validate every method; also sanity-check the class hierarchy."""
+    report = ValidationReport()
+    for cls in program.classes.values():
+        if cls.superclass and cls.superclass not in program.classes:
+            report.error(f"{cls.name}: unknown superclass {cls.superclass!r}")
+        for iface in cls.interfaces:
+            if iface not in program.classes:
+                report.warn(f"{cls.name}: unknown interface {iface!r}")
+    for method in program.all_methods():
+        validate_method(method, program, report)
+    return report

@@ -1,0 +1,14 @@
+"""Backward symbolic execution for race refutation (the Thresher stand-in)."""
+
+from repro.symbolic.constraints import ConstraintSet, NOT_NULL, TRIVIAL
+from repro.symbolic.executor import BackwardExecutor, SearchOutcome
+from repro.symbolic.state import SymState
+
+__all__ = [
+    "BackwardExecutor",
+    "ConstraintSet",
+    "NOT_NULL",
+    "SearchOutcome",
+    "SymState",
+    "TRIVIAL",
+]

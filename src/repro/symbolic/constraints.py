@@ -1,0 +1,163 @@
+"""The refuter's constraint language and decision procedure.
+
+Thresher drives Z3; our backward executor only ever generates constraints of
+the shapes guard-flag idioms produce — (dis)equalities against constants,
+null-ness, and integer bounds — so a small per-variable admissible-set
+representation decides satisfiability exactly:
+
+* ``eq``  — a required exact value (int/bool/str/None, or :data:`NOT_NULL`),
+* ``ne``  — a set of excluded values,
+* ``lo``/``hi`` — inclusive integer bounds.
+
+A :class:`ConstraintSet` is immutable; ``require`` returns a tightened copy
+or ``None`` on contradiction (the refutation signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Union
+
+from repro.ir.instructions import CmpOp
+
+
+class _NotNull:
+    """The value of a freshly allocated reference: non-null, identity unknown."""
+
+    def __repr__(self) -> str:
+        return "<not-null>"
+
+
+NOT_NULL = _NotNull()
+
+ConstValue = Union[int, bool, str, None, _NotNull]
+
+
+def _values_equal(a: ConstValue, b: ConstValue) -> Optional[bool]:
+    """Three-valued equality: True/False when decidable, None when unknown
+    (NOT_NULL against a concrete non-null value)."""
+    if a is NOT_NULL and b is NOT_NULL:
+        return None  # two unknown non-null refs may or may not be identical
+    if a is NOT_NULL:
+        return False if b is None else None
+    if b is NOT_NULL:
+        return False if a is None else None
+    # bool is an int subtype in Python; Java would not cross-compare, so
+    # keep bools and ints apart explicitly.
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Admissible values of one variable/location."""
+
+    eq: Optional[ConstValue] = None
+    has_eq: bool = False
+    ne: FrozenSet[ConstValue] = frozenset()
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def is_trivial(self) -> bool:
+        return not self.has_eq and not self.ne and self.lo is None and self.hi is None
+
+    def require(self, op: CmpOp, value: ConstValue) -> Optional["ConstraintSet"]:
+        """Tighten with ``var <op> value``; None on contradiction."""
+        if op is CmpOp.EQ:
+            return self._require_eq(value)
+        if op is CmpOp.NE:
+            return self._require_ne(value)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return self  # ordered comparison on non-int: no refinement
+        if op is CmpOp.LT:
+            return self._require_bounds(hi=value - 1)
+        if op is CmpOp.LE:
+            return self._require_bounds(hi=value)
+        if op is CmpOp.GT:
+            return self._require_bounds(lo=value + 1)
+        return self._require_bounds(lo=value)  # GE
+
+    def _require_eq(self, value: ConstValue) -> Optional["ConstraintSet"]:
+        if self.has_eq:
+            decided = _values_equal(self.eq, value)
+            if decided is False:
+                return None
+            return self
+        for excluded in self.ne:
+            if _values_equal(excluded, value) is True:
+                return None
+        if isinstance(value, int) and not isinstance(value, bool):
+            if self.lo is not None and value < self.lo:
+                return None
+            if self.hi is not None and value > self.hi:
+                return None
+        return ConstraintSet(eq=value, has_eq=True, ne=self.ne, lo=self.lo, hi=self.hi)
+
+    def _require_ne(self, value: ConstValue) -> Optional["ConstraintSet"]:
+        if self.has_eq and _values_equal(self.eq, value) is True:
+            return None
+        return ConstraintSet(
+            eq=self.eq, has_eq=self.has_eq, ne=self.ne | {value}, lo=self.lo, hi=self.hi
+        )
+
+    def _require_bounds(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> Optional["ConstraintSet"]:
+        new_lo = self.lo if lo is None else (lo if self.lo is None else max(lo, self.lo))
+        new_hi = self.hi if hi is None else (hi if self.hi is None else min(hi, self.hi))
+        if new_lo is not None and new_hi is not None and new_lo > new_hi:
+            return None
+        if self.has_eq and isinstance(self.eq, int) and not isinstance(self.eq, bool):
+            if new_lo is not None and self.eq < new_lo:
+                return None
+            if new_hi is not None and self.eq > new_hi:
+                return None
+        return ConstraintSet(eq=self.eq, has_eq=self.has_eq, ne=self.ne, lo=new_lo, hi=new_hi)
+
+    # ------------------------------------------------------------------
+    def satisfied_by(self, value: ConstValue) -> bool:
+        """Can a variable holding exactly ``value`` satisfy this set?
+        Unknown comparisons count as satisfiable (sound for refutation)."""
+        if self.has_eq and _values_equal(self.eq, value) is False:
+            return False
+        for excluded in self.ne:
+            if _values_equal(excluded, value) is True:
+                return False
+        if isinstance(value, int) and not isinstance(value, bool):
+            if self.lo is not None and value < self.lo:
+                return False
+            if self.hi is not None and value > self.hi:
+                return False
+        return True
+
+    def merge(self, other: "ConstraintSet") -> Optional["ConstraintSet"]:
+        """Conjunction of two sets; None on contradiction."""
+        result: Optional[ConstraintSet] = self
+        if other.has_eq:
+            result = result._require_eq(other.eq)
+            if result is None:
+                return None
+        for excluded in other.ne:
+            result = result._require_ne(excluded)
+            if result is None:
+                return None
+        if other.lo is not None or other.hi is not None:
+            result = result._require_bounds(lo=other.lo, hi=other.hi)
+        return result
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.has_eq:
+            parts.append(f"=={self.eq!r}")
+        for v in self.ne:
+            parts.append(f"!={v!r}")
+        if self.lo is not None:
+            parts.append(f">={self.lo}")
+        if self.hi is not None:
+            parts.append(f"<={self.hi}")
+        return "{" + ",".join(parts) + "}" if parts else "{*}"
+
+
+TRIVIAL = ConstraintSet()

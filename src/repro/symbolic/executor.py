@@ -1,0 +1,366 @@
+"""Goal-directed backward symbolic execution (§5).
+
+The executor walks an action's interprocedural CFG *backwards* from a start
+node (a racy access, or the action's exit) toward the action entry,
+maintaining a :class:`~repro.symbolic.state.SymState` of path constraints:
+
+* branch edges contribute guard constraints,
+* register definitions translate or discharge register constraints,
+* field loads land register constraints on memory locations,
+* field **stores with a singleton receiver perform strong updates** — a
+  stored constant that contradicts the location's constraint kills the path
+  (the exact mechanism that refutes Figure 8's OpenSudoku candidate).
+
+Exploration is bounded: a per-path loop bound and a global path budget
+(5,000 in the paper and here). A budget overrun is reported so the caller
+can fall back to "cannot refute → report the race" (§5, *Caching*/timeout
+behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import MethodContext
+from repro.analysis.icfg import ActionICFG, ICFGNode
+from repro.analysis.pointsto import PointsToResult
+from repro.core.accesses import Location
+from repro.ir.instructions import (
+    ArrayLoad,
+    Assign,
+    Binary,
+    CmpOp,
+    Compare,
+    Const,
+    FieldLoad,
+    FieldStore,
+    If,
+    Instruction,
+    Invoke,
+    New,
+    Nop,
+    Operand,
+    StaticLoad,
+    StaticStore,
+    Var,
+)
+from repro.symbolic.constraints import ConstValue, ConstraintSet, NOT_NULL, TRIVIAL
+from repro.symbolic.state import SymState
+
+#: instructions with no backward effect on constraints
+_INERT = (Nop,)
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one backward search."""
+
+    feasible: bool
+    final_states: List[SymState] = field(default_factory=list)
+    nodes_expanded: int = 0
+    budget_exceeded: bool = False
+    cache_hits: int = 0
+
+
+class BackwardExecutor:
+    """Backward symbolic execution over one action's ICFG."""
+
+    def __init__(
+        self,
+        icfg: ActionICFG,
+        result: PointsToResult,
+        path_budget: int = 5000,
+        loop_bound: int = 2,
+        max_final_states: int = 32,
+        refuted_node_cache: Optional[Set[ICFGNode]] = None,
+    ) -> None:
+        self.icfg = icfg
+        self.result = result
+        self.path_budget = path_budget
+        self.loop_bound = loop_bound
+        self.max_final_states = max_final_states
+        # nodes every exploration through which was refuted earlier (§5
+        # caching): hitting one prunes the path immediately.
+        self.refuted_node_cache = refuted_node_cache if refuted_node_cache is not None else set()
+        self._branch_cache: Dict[Tuple[int, int], Dict[ICFGNode, bool]] = {}
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        start_nodes: List[ICFGNode],
+        entry_nodes: Set[ICFGNode],
+        initial: Optional[SymState] = None,
+        must_pass: Optional[Set[ICFGNode]] = None,
+        facts: Optional[Dict[Location, ConstValue]] = None,
+        stop_at_first: bool = False,
+    ) -> SearchOutcome:
+        """Explore backward from ``start_nodes`` to ``entry_nodes``.
+
+        A path completes when it pops an entry node (or a node with no
+        predecessors) with a consistent state that visited every required
+        ``must_pass`` node and respects ``facts`` (constant-propagation
+        seeds). ``stop_at_first`` turns the search into a feasibility test.
+        """
+        outcome = SearchOutcome(feasible=False)
+        must_pass = must_pass or set()
+        facts = facts or {}
+        seen_finals: Set[Tuple] = set()
+        visited_on_path: Dict[ICFGNode, int]
+
+        # DFS frames: (node, state-after-node, per-path visit counts, passed?)
+        stack: List[Tuple[ICFGNode, SymState, Dict[ICFGNode, int], bool]] = []
+        base = initial.clone() if initial is not None else SymState()
+        for start in start_nodes:
+            stack.append((start, base.clone(), {}, start in must_pass))
+
+        while stack:
+            if outcome.nodes_expanded >= self.path_budget:
+                outcome.budget_exceeded = True
+                break
+            node, state, visits, passed = stack.pop()
+            if node in self.refuted_node_cache:
+                outcome.cache_hits += 1
+                continue
+            count = visits.get(node, 0)
+            if count >= self.loop_bound:
+                continue
+            outcome.nodes_expanded += 1
+
+            before = self._transfer(node, state)
+            if before is None:
+                continue
+
+            preds = self.icfg.graph.predecessors(node)
+            at_entry = node in entry_nodes or not preds
+            if at_entry and (not must_pass or passed):
+                if before.consistent_with_facts(facts):
+                    digest = before.canonical()
+                    if digest not in seen_finals:
+                        seen_finals.add(digest)
+                        outcome.final_states.append(before)
+                        outcome.feasible = True
+                        if stop_at_first or len(outcome.final_states) >= self.max_final_states:
+                            break
+            if node in entry_nodes:
+                continue  # do not walk past the action boundary
+
+            new_visits = dict(visits)
+            new_visits[node] = count + 1
+            for pred in preds:
+                adjusted = self._cross_edge(pred, node, before)
+                if adjusted is None:
+                    continue
+                stack.append(
+                    (pred, adjusted, new_visits, passed or pred in must_pass)
+                )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # edge crossing (branch constraints + frame mapping)
+    # ------------------------------------------------------------------
+    def _cross_edge(self, pred: ICFGNode, node: ICFGNode, state: SymState) -> Optional[SymState]:
+        pred_mc, pred_idx = pred
+        node_mc, _ = node
+        adjusted = state.clone()
+
+        if pred_mc is node_mc:
+            instr = self._instr_at(pred)
+            if isinstance(instr, If):
+                branch = self._branch_direction(pred, node)
+                if branch is not None and not self._apply_guard(
+                    adjusted, pred_mc, instr, branch
+                ):
+                    return None
+            return adjusted
+
+        instr = self._instr_at(pred)
+        if isinstance(instr, Invoke):
+            # backward call crossing: callee entry -> call site. Map callee
+            # parameter constraints onto caller arguments, drop dead locals.
+            callee_mc = node_mc
+            params = list(callee_mc.method.params)
+            if not callee_mc.method.is_static:
+                receiver_constraint = adjusted.pop_reg(callee_mc, "this")
+                if instr.receiver is not None and not receiver_constraint.is_trivial():
+                    if not adjusted.merge_reg(pred_mc, instr.receiver.name, receiver_constraint):
+                        return None
+            for i, (pname, _ptype) in enumerate(params):
+                constraint = adjusted.pop_reg(callee_mc, pname)
+                if constraint.is_trivial():
+                    continue
+                if i < len(instr.args):
+                    arg = instr.args[i]
+                    if isinstance(arg, Const):
+                        if not constraint.satisfied_by(arg.value):
+                            return None
+                    elif not adjusted.merge_reg(pred_mc, arg.name, constraint):
+                        return None
+            adjusted.drop_frame(callee_mc)
+        # return-edge crossing (pred is a callee Return): nothing to map —
+        # the caller frame rides along; the call result is havocked when the
+        # walk eventually crosses the Invoke itself.
+        return adjusted
+
+    def _apply_guard(
+        self, state: SymState, mc: MethodContext, instr: If, taken: bool
+    ) -> bool:
+        op = instr.op if taken else instr.op.negate()
+        lhs, rhs = instr.lhs, instr.rhs
+        if isinstance(lhs, Var) and isinstance(rhs, Const):
+            return state.require_reg(mc, lhs.name, op, rhs.value)
+        if isinstance(lhs, Const) and isinstance(rhs, Var):
+            return state.require_reg(mc, rhs.name, _flip(op), lhs.value)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return op.evaluate(lhs.value, rhs.value)
+        return True  # var-vs-var guards: no constant constraint to add
+
+    def _branch_direction(self, pred: ICFGNode, node: ICFGNode) -> Optional[bool]:
+        """Did the edge pred->node take the If's branch (True) or fall
+        through (False)? None when ambiguous (both successors identical)."""
+        key = (id(pred[0]), pred[1])
+        table = self._branch_cache.get(key)
+        if table is None:
+            mc, idx = pred
+            instr = mc.method.body[idx]
+            assert isinstance(instr, If)
+            cfg = mc.method.cfg
+            target_block = cfg.block_of_label(instr.target)
+            target_node = self._first_node_of_block(mc, target_block)
+            succs = list(dict.fromkeys(self.icfg.graph.successors(pred)))
+            if len(succs) == 1 and succs[0] == target_node:
+                table = {succs[0]: None}  # target == fallthrough: ambiguous
+            else:
+                table = {s: (s == target_node) for s in succs}
+            self._branch_cache[key] = table
+        return table.get(node)
+
+    def _first_node_of_block(self, mc: MethodContext, block) -> Optional[ICFGNode]:
+        if not block.instructions:
+            return None
+        body = mc.method.body
+        head = block.instructions[0]
+        for index, instr in enumerate(body):
+            if instr is head:
+                return (mc, index)
+        return None
+
+    # ------------------------------------------------------------------
+    # backward transfer functions
+    # ------------------------------------------------------------------
+    def _instr_at(self, node: ICFGNode) -> Optional[Instruction]:
+        mc, idx = node
+        if idx < 0 or idx >= len(mc.method.body):
+            return None
+        return mc.method.body[idx]
+
+    def _transfer(self, node: ICFGNode, state: SymState) -> Optional[SymState]:
+        instr = self._instr_at(node)
+        if instr is None or isinstance(instr, _INERT):
+            return state
+        mc = node[0]
+        out = state.clone()
+
+        if isinstance(instr, Assign):
+            constraint = out.pop_reg(mc, instr.dst.name)
+            if constraint.is_trivial():
+                return out
+            if isinstance(instr.src, Const):
+                return out if constraint.satisfied_by(instr.src.value) else None
+            return out if out.merge_reg(mc, instr.src.name, constraint) else None
+
+        if isinstance(instr, New):
+            constraint = out.pop_reg(mc, instr.dst.name)
+            return out if constraint.satisfied_by(NOT_NULL) else None
+
+        if isinstance(instr, Compare):
+            constraint = out.pop_reg(mc, instr.dst.name)
+            if constraint.is_trivial():
+                return out
+            wants_true = constraint.satisfied_by(True)
+            wants_false = constraint.satisfied_by(False)
+            if wants_true and wants_false:
+                return out
+            op = instr.op if wants_true else instr.op.negate()
+            if isinstance(instr.lhs, Var) and isinstance(instr.rhs, Const):
+                return out if out.require_reg(mc, instr.lhs.name, op, instr.rhs.value) else None
+            if isinstance(instr.lhs, Const) and isinstance(instr.rhs, Var):
+                return (
+                    out
+                    if out.require_reg(mc, instr.rhs.name, _flip(op), instr.lhs.value)
+                    else None
+                )
+            return out
+
+        if isinstance(instr, Binary):
+            out.pop_reg(mc, instr.dst.name)  # havoc arithmetic results
+            return out
+
+        if isinstance(instr, FieldLoad):
+            constraint = out.pop_reg(mc, instr.dst.name)
+            if constraint.is_trivial():
+                return out
+            bases = self.result.var(mc, instr.obj.name)
+            if len(bases) == 1:
+                (base,) = bases
+                location = Location(base, instr.field_name)
+                return out if out.merge_loc(location, constraint) else None
+            return out  # ambiguous base: drop (cannot track)
+
+        if isinstance(instr, FieldStore):
+            bases = self.result.var(mc, instr.obj.name)
+            if len(bases) == 1:
+                (base,) = bases
+                location = Location(base, instr.field_name)
+                constraint = out.pop_loc(location)  # strong update
+                return self._discharge_store(out, mc, constraint, instr.src)
+            # weak update: the store may hit a different object — constraints
+            # survive and the path stays feasible.
+            return out
+
+        if isinstance(instr, StaticLoad):
+            constraint = out.pop_reg(mc, instr.dst.name)
+            if constraint.is_trivial():
+                return out
+            location = Location(instr.class_name, instr.field_name)
+            return out if out.merge_loc(location, constraint) else None
+
+        if isinstance(instr, StaticStore):
+            location = Location(instr.class_name, instr.field_name)
+            constraint = out.pop_loc(location)
+            return self._discharge_store(out, mc, constraint, instr.src)
+
+        if isinstance(instr, ArrayLoad):
+            out.pop_reg(mc, instr.dst.name)  # index-insensitive: havoc
+            return out
+
+        if isinstance(instr, Invoke):
+            if instr.dst is not None:
+                out.pop_reg(mc, instr.dst.name)  # havoc call results
+            return out
+
+        # If / Goto / Return / ArrayStore carry no backward transfer here
+        # (branch constraints are added at edge crossings; array stores are
+        # weak by construction).
+        return out
+
+    def _discharge_store(
+        self, state: SymState, mc: MethodContext, constraint: ConstraintSet, src: Operand
+    ) -> Optional[SymState]:
+        if constraint.is_trivial():
+            return state
+        if isinstance(src, Const):
+            return state if constraint.satisfied_by(src.value) else None
+        return state if state.merge_reg(mc, src.name, constraint) else None
+
+
+def _flip(op: CmpOp) -> CmpOp:
+    """Mirror an operator across operand swap (c < x  ==  x > c)."""
+    return {
+        CmpOp.EQ: CmpOp.EQ,
+        CmpOp.NE: CmpOp.NE,
+        CmpOp.LT: CmpOp.GT,
+        CmpOp.LE: CmpOp.GE,
+        CmpOp.GT: CmpOp.LT,
+        CmpOp.GE: CmpOp.LE,
+    }[op]

@@ -1,0 +1,108 @@
+"""Symbolic state for the backward executor.
+
+A state maps *registers* (scoped by their method-context frame) and *memory
+locations* (abstract object × field, or static cell) to constraint sets. The
+backward transfer functions in :mod:`repro.symbolic.executor` thread
+constraints from uses back to definitions, eventually landing them on
+locations — where strong updates can contradict them (the refutation of
+Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.callgraph import MethodContext
+from repro.core.accesses import Location
+from repro.ir.instructions import CmpOp
+from repro.symbolic.constraints import ConstValue, ConstraintSet, TRIVIAL
+
+RegKey = Tuple[MethodContext, str]
+
+
+@dataclass
+class SymState:
+    """Constraints at one program point (immutable-by-convention: every
+    mutation goes through a helper that returns a fresh state)."""
+
+    regs: Dict[RegKey, ConstraintSet] = field(default_factory=dict)
+    locs: Dict[Location, ConstraintSet] = field(default_factory=dict)
+
+    def clone(self) -> "SymState":
+        return SymState(regs=dict(self.regs), locs=dict(self.locs))
+
+    # ------------------------------------------------------------------
+    # register constraints
+    # ------------------------------------------------------------------
+    def reg(self, mc: MethodContext, name: str) -> ConstraintSet:
+        return self.regs.get((mc, name), TRIVIAL)
+
+    def require_reg(self, mc: MethodContext, name: str, op: CmpOp, value: ConstValue) -> bool:
+        """Add ``reg <op> value``; False means contradiction."""
+        current = self.reg(mc, name)
+        tightened = current.require(op, value)
+        if tightened is None:
+            return False
+        if not tightened.is_trivial():
+            self.regs[(mc, name)] = tightened
+        return True
+
+    def pop_reg(self, mc: MethodContext, name: str) -> ConstraintSet:
+        """Remove and return the constraints on a register (used when the
+        backward walk crosses the register's definition)."""
+        return self.regs.pop((mc, name), TRIVIAL)
+
+    def merge_reg(self, mc: MethodContext, name: str, constraint: ConstraintSet) -> bool:
+        if constraint.is_trivial():
+            return True
+        merged = self.reg(mc, name).merge(constraint)
+        if merged is None:
+            return False
+        self.regs[(mc, name)] = merged
+        return True
+
+    def drop_frame(self, mc: MethodContext) -> None:
+        """Discard every register constraint of one frame (dead locals when
+        crossing backward out of a callee)."""
+        for key in [k for k in self.regs if k[0] == mc]:
+            del self.regs[key]
+
+    # ------------------------------------------------------------------
+    # location constraints
+    # ------------------------------------------------------------------
+    def loc(self, location: Location) -> ConstraintSet:
+        return self.locs.get(location, TRIVIAL)
+
+    def pop_loc(self, location: Location) -> ConstraintSet:
+        return self.locs.pop(location, TRIVIAL)
+
+    def merge_loc(self, location: Location, constraint: ConstraintSet) -> bool:
+        if constraint.is_trivial():
+            return True
+        merged = self.loc(location).merge(constraint)
+        if merged is None:
+            return False
+        self.locs[location] = merged
+        return True
+
+    # ------------------------------------------------------------------
+    def consistent_with_facts(self, facts: Dict[Location, ConstValue]) -> bool:
+        """Are the surviving location constraints compatible with known
+        constants (on-demand constant propagation seeds)?"""
+        for location, value in facts.items():
+            constraint = self.locs.get(location)
+            if constraint is not None and not constraint.satisfied_by(value):
+                return False
+        return True
+
+    def canonical(self) -> Tuple:
+        """A hashable digest used to deduplicate path states."""
+        regs = tuple(sorted(((mc.signature, n), repr(c)) for (mc, n), c in self.regs.items()))
+        locs = tuple(sorted((repr(l), repr(c)) for l, c in self.locs.items()))
+        return (regs, locs)
+
+    def __repr__(self) -> str:
+        parts = [f"{n}{c!r}" for (_, n), c in self.regs.items()]
+        parts += [f"{l!r}{c!r}" for l, c in self.locs.items()]
+        return "SymState(" + ", ".join(parts) + ")"

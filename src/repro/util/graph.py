@@ -1,0 +1,327 @@
+"""A small directed-graph library.
+
+The reproduction needs exactly four graph facilities, all provided here:
+
+* adjacency bookkeeping (:class:`Digraph`),
+* reachability queries (used by HB rule 5 and Handler/Looper affinity),
+* dominator trees (used by HB rules 2-4 and the harness lifecycle model),
+* transitive closure (used to saturate the Static Happens-Before Graph).
+
+``networkx`` is available in the environment but the SHBG fixpoint of HB
+rule 6 interleaves closure with edge discovery, which is much easier to
+express against our own mutable closure representation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Set, Tuple, TypeVar, Union
+
+N = TypeVar("N", bound=Hashable)
+
+
+class Digraph(Generic[N]):
+    """A mutable directed graph over hashable nodes.
+
+    Nodes are kept in insertion order so every traversal (and therefore every
+    analysis result downstream) is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[N, List[N]] = {}
+        self._pred: Dict[N, List[N]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: N) -> None:
+        """Insert ``node`` if it is not already present."""
+        if node not in self._succ:
+            self._succ[node] = []
+            self._pred[node] = []
+
+    def add_edge(self, src: N, dst: N) -> bool:
+        """Insert the edge ``src -> dst``; return True if it was new."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst in self._succ[src]:
+            return False
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        return True
+
+    def remove_edge(self, src: N, dst: N) -> None:
+        """Remove the edge ``src -> dst`` if present."""
+        if src in self._succ and dst in self._succ[src]:
+            self._succ[src].remove(dst)
+            self._pred[dst].remove(src)
+
+    def copy(self) -> "Digraph[N]":
+        clone: Digraph[N] = Digraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                clone.add_edge(src, dst)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: N) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def nodes(self) -> List[N]:
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Tuple[N, N]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def edge_count(self) -> int:
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def successors(self, node: N) -> List[N]:
+        return list(self._succ.get(node, ()))
+
+    def predecessors(self, node: N) -> List[N]:
+        return list(self._pred.get(node, ()))
+
+    def has_edge(self, src: N, dst: N) -> bool:
+        return dst in self._succ.get(src, ())
+
+    def reachable_from(
+        self, start: N, skip: Union[None, N, Set[N]] = None
+    ) -> Set[N]:
+        """Every node reachable from ``start`` (including it).
+
+        ``skip`` omits one node (or a set of nodes) entirely, emulating node
+        removal: this is how HB rule 5 tests de-facto domination ("remove e1,
+        is e2 still reachable?") without mutating the graph.
+        """
+        skip_set: Set[N] = (
+            set() if skip is None else (skip if isinstance(skip, set) else {skip})
+        )
+        if start not in self._succ or start in skip_set:
+            return set()
+        seen = {start}
+        worklist = deque([start])
+        while worklist:
+            node = worklist.popleft()
+            for nxt in self._succ[node]:
+                if nxt in skip_set or nxt in seen:
+                    continue
+                seen.add(nxt)
+                worklist.append(nxt)
+        return seen
+
+    def can_reach(self, src: N, dst: N, skip: Union[None, N, Set[N]] = None) -> bool:
+        return dst in self.reachable_from(src, skip=skip)
+
+    # ------------------------------------------------------------------
+    # dominators
+    # ------------------------------------------------------------------
+    def immediate_dominators(self, entry: N) -> Dict[N, N]:
+        """Immediate dominators for every node reachable from ``entry``.
+
+        Implements Cooper/Harvey/Kennedy's iterative algorithm. The entry
+        node maps to itself. Unreachable nodes are absent from the result.
+        """
+        if entry not in self._succ:
+            raise KeyError(f"entry {entry!r} not in graph")
+        order = self._reverse_postorder(entry)
+        index = {node: i for i, node in enumerate(order)}
+        idom: Dict[N, N] = {entry: entry}
+
+        def intersect(a: N, b: N) -> N:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == entry:
+                    continue
+                preds = [p for p in self._pred[node] if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        return idom
+
+    def dominates(self, idom: Dict[N, N], a: N, b: N) -> bool:
+        """Does ``a`` dominate ``b`` under the immediate-dominator map?"""
+        if a == b:
+            return True
+        node = b
+        while node in idom and idom[node] != node:
+            node = idom[node]
+            if node == a:
+                return True
+        return False
+
+    def _reverse_postorder(self, entry: N) -> List[N]:
+        seen: Set[N] = set()
+        post: List[N] = []
+        # Iterative DFS so deep synthetic CFGs cannot overflow the stack.
+        stack: List[Tuple[N, Iterator[N]]] = [(entry, iter(self._succ[entry]))]
+        seen.add(entry)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(self._succ[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                post.append(node)
+        post.reverse()
+        return post
+
+
+class TransitiveClosure(Generic[N]):
+    """An incrementally-maintained transitive closure of a relation.
+
+    The SHBG alternates between adding HB edges (rules 1-6) and querying
+    orderedness; rule 6 in particular discovers new edges from closed ones,
+    so the closure must stay consistent after every insertion. We maintain,
+    per node, the full descendant and ancestor sets and propagate on insert.
+    """
+
+    def __init__(self) -> None:
+        self._after: Dict[N, Set[N]] = {}
+        self._before: Dict[N, Set[N]] = {}
+        self._direct: Set[Tuple[N, N]] = set()
+
+    def add_node(self, node: N) -> None:
+        self._after.setdefault(node, set())
+        self._before.setdefault(node, set())
+
+    def add_edge(self, src: N, dst: N) -> bool:
+        """Record ``src < dst``; returns True if the closure grew."""
+        self.add_node(src)
+        self.add_node(dst)
+        self._direct.add((src, dst))
+        if dst in self._after[src]:
+            return False
+        sources = self._before[src] | {src}
+        targets = self._after[dst] | {dst}
+        grew = False
+        for a in sources:
+            new = targets - self._after[a]
+            if new:
+                grew = True
+                self._after[a] |= new
+                for b in new:
+                    self._before[b].add(a)
+        return grew
+
+    def ordered(self, a: N, b: N) -> bool:
+        """Is ``a < b`` in the closure?"""
+        return b in self._after.get(a, ())
+
+    def comparable(self, a: N, b: N) -> bool:
+        """Are ``a`` and ``b`` ordered either way?"""
+        return self.ordered(a, b) or self.ordered(b, a)
+
+    def successors(self, node: N) -> Set[N]:
+        return set(self._after.get(node, ()))
+
+    def predecessors(self, node: N) -> Set[N]:
+        return set(self._before.get(node, ()))
+
+    def direct_edges(self) -> Set[Tuple[N, N]]:
+        """Edges inserted explicitly (not derived by transitivity)."""
+        return set(self._direct)
+
+    def closure_edges(self) -> Set[Tuple[N, N]]:
+        return {(a, b) for a, afters in self._after.items() for b in afters}
+
+    def nodes(self) -> List[N]:
+        return list(self._after)
+
+    def has_cycle(self) -> bool:
+        return any(node in self._after[node] for node in self._after)
+
+
+def topological_order(graph: Digraph[N]) -> List[N]:
+    """Kahn's algorithm; raises ValueError on cyclic graphs."""
+    indegree = {node: len(graph.predecessors(node)) for node in graph.nodes}
+    ready = deque(node for node, deg in indegree.items() if deg == 0)
+    order: List[N] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for nxt in graph.successors(node):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(graph):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def strongly_connected_components(graph: Digraph[N]) -> List[List[N]]:
+    """Tarjan's SCC algorithm (iterative), components in reverse topological order."""
+    index: Dict[N, int] = {}
+    lowlink: Dict[N, int] = {}
+    on_stack: Set[N] = set()
+    stack: List[N] = []
+    components: List[List[N]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        work: List[Tuple[N, Iterator[N]]] = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(graph.successors(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[N] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

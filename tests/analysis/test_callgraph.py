@@ -1,0 +1,86 @@
+"""Call graph structure and in-action (synchronous-only) reachability."""
+
+from repro.analysis.callgraph import CallGraph, MethodContext
+from repro.ir.instructions import Invoke, InvokeKind
+from repro.ir.program import Method
+
+
+def node(name):
+    return MethodContext(Method("t.C", name))
+
+
+def site(name="callee"):
+    return Invoke(None, InvokeKind.VIRTUAL, name, None)
+
+
+class TestStructure:
+    def test_add_node_and_entry(self):
+        cg = CallGraph()
+        n = node("m")
+        assert cg.add_node(n)
+        assert not cg.add_node(n)
+        cg.add_entry(n)
+        cg.add_entry(n)
+        assert cg.entries == [n]
+
+    def test_edges_deduped_by_site_and_via(self):
+        cg = CallGraph()
+        a, b = node("a"), node("b")
+        s = site()
+        assert cg.add_edge(a, s, b)
+        assert not cg.add_edge(a, s, b)
+        assert cg.add_edge(a, s, b, via="post")  # different via: new edge
+        assert cg.edge_count() == 2
+
+    def test_callees_at_filters_by_site(self):
+        cg = CallGraph()
+        a, b, c = node("a"), node("b"), node("c")
+        s1, s2 = site("x"), site("y")
+        cg.add_edge(a, s1, b)
+        cg.add_edge(a, s2, c)
+        assert cg.callees_at(a, s1) == [b]
+        assert cg.callees_at(a, s2) == [c]
+
+    def test_callers_and_in_edges(self):
+        cg = CallGraph()
+        a, b = node("a"), node("b")
+        cg.add_edge(a, site(), b)
+        assert cg.callers(b) == [a]
+        assert cg.in_edges(b)[0].caller is a
+
+    def test_contexts_of(self):
+        cg = CallGraph()
+        m = Method("t.C", "m")
+        from repro.analysis.context import EMPTY_CONTEXT
+
+        mc1 = MethodContext(m, EMPTY_CONTEXT.with_action(1))
+        mc2 = MethodContext(m, EMPTY_CONTEXT.with_action(2))
+        cg.add_node(mc1)
+        cg.add_node(mc2)
+        assert set(cg.contexts_of(m)) == {mc1, mc2}
+
+
+class TestReachability:
+    def build(self):
+        cg = CallGraph()
+        a, b, c, d = node("a"), node("b"), node("c"), node("d")
+        cg.add_edge(a, site(), b)  # synchronous
+        cg.add_edge(b, site(), c, via="post")  # async boundary
+        cg.add_edge(b, site(), d)  # synchronous
+        return cg, a, b, c, d
+
+    def test_full_reachability_crosses_posts(self):
+        cg, a, b, c, d = self.build()
+        assert set(cg.reachable_from([a])) == {a, b, c, d}
+
+    def test_synchronous_only_stops_at_posts(self):
+        cg, a, b, c, d = self.build()
+        assert set(cg.reachable_from([a], synchronous_only=True)) == {a, b, d}
+
+    def test_stop_set_blocks_entry(self):
+        cg, a, b, c, d = self.build()
+        assert set(cg.reachable_from([a], stop={b})) == {a}
+
+    def test_roots_always_included(self):
+        cg, a, b, c, d = self.build()
+        assert set(cg.reachable_from([c], stop={c})) == {c}

@@ -1,0 +1,153 @@
+"""Context abstractions: truncation, action pinning, selector factory."""
+
+import pytest
+
+from repro.analysis.context import (
+    AbstractObject,
+    ActionSensitiveSelector,
+    AllocSiteElement,
+    CallSiteElement,
+    Context,
+    EMPTY_CONTEXT,
+    HybridSelector,
+    InsensitiveSelector,
+    KCfaSelector,
+    KObjSelector,
+    ViewObject,
+    make_selector,
+)
+
+
+def cs(i):
+    return CallSiteElement("m", i)
+
+
+def alloc(i):
+    return AllocSiteElement("m", i)
+
+
+def obj(i, ctx=EMPTY_CONTEXT):
+    return AbstractObject("a.C", alloc(i), ctx)
+
+
+class TestContext:
+    def test_with_action(self):
+        ctx = EMPTY_CONTEXT.with_action(7)
+        assert ctx.action_id() == 7
+        assert EMPTY_CONTEXT.action_id() is None
+
+    def test_equality_includes_action(self):
+        assert EMPTY_CONTEXT.with_action(1) != EMPTY_CONTEXT.with_action(2)
+        assert EMPTY_CONTEXT.with_action(1) == EMPTY_CONTEXT.with_action(1)
+
+
+class TestKCfa:
+    def test_appends_and_truncates(self):
+        sel = KCfaSelector(k=2)
+        ctx = EMPTY_CONTEXT
+        for i in range(3):
+            ctx = sel.static_callee_context(ctx, cs(i))
+        assert ctx.elements == (cs(1), cs(2))
+
+    def test_virtual_same_as_static(self):
+        sel = KCfaSelector(k=1)
+        ctx = sel.virtual_callee_context(EMPTY_CONTEXT, cs(5), obj(0))
+        assert ctx.elements == (cs(5),)
+
+
+class TestKObj:
+    def test_uses_receiver_alloc_chain(self):
+        sel = KObjSelector(k=2)
+        receiver = obj(3, Context(elements=(alloc(1),)))
+        ctx = sel.virtual_callee_context(EMPTY_CONTEXT, cs(0), receiver)
+        assert ctx.elements == (alloc(1), alloc(3))
+
+    def test_view_receiver_falls_back_to_caller(self):
+        sel = KObjSelector(k=2)
+        caller = Context(elements=(cs(9),))
+        ctx = sel.virtual_callee_context(caller, cs(0), ViewObject(4, "a.V"))
+        assert ctx.elements == (cs(9),)
+
+    def test_merging_beyond_k(self):
+        """The §3.3 precision-loss scenario: deep chains merge."""
+        sel = KObjSelector(k=1)
+        r1 = obj(5, Context(elements=(alloc(1),)))
+        r2 = obj(5, Context(elements=(alloc(2),)))
+        c1 = sel.virtual_callee_context(EMPTY_CONTEXT, cs(0), r1)
+        c2 = sel.virtual_callee_context(EMPTY_CONTEXT, cs(0), r2)
+        assert c1 == c2  # merged despite different histories
+
+
+class TestActionSensitivity:
+    def test_action_survives_truncation(self):
+        sel = ActionSensitiveSelector(k=1)
+        ctx = EMPTY_CONTEXT.with_action(3)
+        for i in range(5):
+            ctx = sel.static_callee_context(ctx, cs(i))
+        assert ctx.action_id() == 3
+        assert len(ctx.elements) == 1
+
+    def test_heap_context_carries_action(self):
+        sel = ActionSensitiveSelector(k=2)
+        ctx = EMPTY_CONTEXT.with_action(9)
+        heap = sel.heap_context(ctx, alloc(0))
+        assert heap.action_id() == 9
+
+    def test_objects_from_different_actions_differ(self):
+        """The foo()/bar() example: same code, different actions, distinct
+        abstract objects."""
+        sel = ActionSensitiveSelector(k=1)
+        ctxs = []
+        for action in (1, 2):
+            ctx = EMPTY_CONTEXT.with_action(action)
+            for i in range(4):  # deeper than k
+                ctx = sel.static_callee_context(ctx, cs(i))
+            ctxs.append(sel.heap_context(ctx, alloc(7)))
+        assert ctxs[0] != ctxs[1]
+
+    def test_hybrid_without_action_merges_same_scenario(self):
+        sel = HybridSelector(k=1)
+        ctxs = []
+        for _ in (1, 2):
+            ctx = EMPTY_CONTEXT
+            for i in range(4):
+                ctx = sel.static_callee_context(ctx, cs(i))
+            ctxs.append(sel.heap_context(ctx, alloc(7)))
+        assert ctxs[0] == ctxs[1]
+
+    def test_entry_context(self):
+        assert ActionSensitiveSelector().entry_context(4).action_id() == 4
+        assert HybridSelector().entry_context(4).action_id() is None
+        assert ActionSensitiveSelector().entry_context(None) == EMPTY_CONTEXT
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("insensitive", InsensitiveSelector),
+            ("kcfa", KCfaSelector),
+            ("kobj", KObjSelector),
+            ("hybrid", HybridSelector),
+            ("action", ActionSensitiveSelector),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_selector(name), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown selector"):
+            make_selector("bogus")
+
+    def test_uses_actions_only_for_action_selector(self):
+        assert make_selector("action").uses_actions()
+        assert not make_selector("hybrid").uses_actions()
+
+
+class TestViewObject:
+    def test_identity_by_id(self):
+        assert ViewObject(7, "a.V") == ViewObject(7, "a.V")
+        assert ViewObject(7, "a.V") != ViewObject(8, "a.V")
+
+    def test_class_name_property(self):
+        assert ViewObject(7, "a.V").class_name == "a.V"

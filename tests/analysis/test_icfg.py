@@ -1,0 +1,115 @@
+"""Action-scoped ICFG and de-facto domination (HB rule 5's engine)."""
+
+from repro.analysis.callgraph import CallGraph, MethodContext
+from repro.analysis.icfg import ActionICFG
+from repro.android.framework import install_framework
+from repro.ir.builder import ProgramBuilder
+
+
+def build_action():
+    """entry() calls helper1() then (conditionally) helper2(); helper1
+    contains post site e1, helper2 contains post site e2."""
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    cls = pb.new_class("t.C")
+    h1 = cls.method("helper1")
+    e1 = h1.call_static("$post$e1")
+    h1.ret()
+    h2 = cls.method("helper2")
+    e2 = h2.call_static("$post$e2")
+    h2.ret()
+    entry = cls.method("entry")
+    entry.call("this", "helper1")
+    entry.const("c", True)
+    entry.if_true("c", "skip")
+    entry.call("this", "helper2")
+    entry.label("skip").ret()
+    return pb.program, entry.method, h1.method, h2.method, e1, e2
+
+
+def make_icfg(program, methods):
+    cg = CallGraph()
+    mcs = {m: MethodContext(m) for m in methods}
+    entry_m = methods[0]
+    for instr in entry_m.body:
+        from repro.ir.instructions import Invoke, InvokeKind
+
+        if isinstance(instr, Invoke) and instr.kind is InvokeKind.VIRTUAL:
+            callee = program.resolve_method("t.C", instr.method_name)
+            if callee is not None:
+                cg.add_edge(mcs[entry_m], instr, mcs[callee])
+    return ActionICFG(cg, mcs.values()), mcs
+
+
+class TestDeFactoDomination:
+    def test_unconditional_callee_site_dominates(self):
+        program, entry, h1, h2, e1, e2 = build_action()
+        icfg, mcs = make_icfg(program, [entry, h1, h2])
+        entries = [mcs[entry]]
+        e1_nodes = icfg.sites_of_instruction(e1)
+        e2_nodes = icfg.sites_of_instruction(e2)
+        # helper1 is called unconditionally before helper2 can run:
+        # removing e1 makes e2 unreachable
+        assert icfg.de_facto_dominates_all(entries, e1_nodes, e2_nodes)
+
+    def test_conditional_site_does_not_dominate(self):
+        program, entry, h1, h2, e1, e2 = build_action()
+        icfg, mcs = make_icfg(program, [entry, h1, h2])
+        entries = [mcs[entry]]
+        e1_nodes = icfg.sites_of_instruction(e1)
+        e2_nodes = icfg.sites_of_instruction(e2)
+        # e2 (conditional) does not de-facto dominate e1
+        assert not icfg.de_facto_dominates_all(entries, e2_nodes, e1_nodes)
+
+    def test_empty_site_lists_do_not_dominate(self):
+        program, entry, h1, h2, e1, e2 = build_action()
+        icfg, mcs = make_icfg(program, [entry, h1, h2])
+        assert not icfg.de_facto_dominates_all([mcs[entry]], [], icfg.sites_of_instruction(e2))
+
+    def test_vacuous_domination_rejected(self):
+        """If e2 is unreachable even with e1 present, rule 5 must not fire."""
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        cls = pb.new_class("t.C")
+        m = cls.method("entry")
+        e1 = m.call_static("$post$e1")
+        m.ret()
+        dead = m.method  # e2 lives in a method never called
+        other = cls.method("dead")
+        e2 = other.call_static("$post$e2")
+        other.ret()
+        cg = CallGraph()
+        mc_entry = MethodContext(m.method)
+        mc_dead = MethodContext(other.method)
+        cg.add_node(mc_entry)
+        cg.add_node(mc_dead)
+        icfg = ActionICFG(cg, [mc_entry, mc_dead])
+        assert not icfg.de_facto_dominates_all(
+            [mc_entry], icfg.sites_of_instruction(e1), icfg.sites_of_instruction(e2)
+        )
+
+
+class TestStructure:
+    def test_entry_and_exit_nodes(self):
+        program, entry, h1, h2, e1, e2 = build_action()
+        icfg, mcs = make_icfg(program, [entry, h1, h2])
+        assert icfg.entry_node(mcs[entry]) == (mcs[entry], 0)
+        exits = icfg.exit_nodes(mcs[entry])
+        assert exits, "entry method must have exit nodes"
+
+    def test_call_and_return_edges(self):
+        program, entry, h1, h2, e1, e2 = build_action()
+        icfg, mcs = make_icfg(program, [entry, h1, h2])
+        call_node = (mcs[entry], 0)  # first instruction is the call
+        assert icfg.entry_node(mcs[h1]) in icfg.graph.successors(call_node)
+
+    def test_empty_method_gets_virtual_node(self):
+        pb = ProgramBuilder()
+        cls = pb.new_class("t.C")
+        empty = cls.method("empty").method
+        cg = CallGraph()
+        mc = MethodContext(empty)
+        cg.add_node(mc)
+        icfg = ActionICFG(cg, [mc])
+        assert icfg.entry_node(mc) == (mc, -1)
+        assert icfg.exit_nodes(mc) == [(mc, -1)]

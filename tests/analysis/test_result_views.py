@@ -1,0 +1,72 @@
+"""PointsToResult query surface and the synthetic/derived object kinds."""
+
+from repro.analysis import Entry, analyze
+from repro.analysis.pointsto import (
+    ARRAY_FIELD,
+    DerivedObject,
+    MAIN_LOOPER,
+    SyntheticObject,
+    array_field_name,
+)
+from repro.android import install_framework
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import Const, Var
+
+
+def small_result():
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    mb = pb.new_class("t.C").method("m")
+    mb.new("a", "t.C")
+    mb.new("b", "t.C")
+    mb.ret()
+    res = analyze(pb.program, [Entry(mb.method)])
+    mc = [n for n in res.call_graph.nodes if n.method is mb.method][0]
+    return res, mc
+
+
+class TestResultViews:
+    def test_objects_of_class(self):
+        res, mc = small_result()
+        objs = res.objects_of_class("t.C")
+        assert len(objs) == 2
+
+    def test_variable_count(self):
+        res, _ = small_result()
+        assert res.variable_count() >= 2
+
+    def test_unknown_queries_empty(self):
+        res, mc = small_result()
+        assert res.var(mc, "ghost") == frozenset()
+        assert res.static("no.Cls", "f") == frozenset()
+        first = next(iter(res.var(mc, "a")))
+        assert res.field(first, "nofield") == frozenset()
+
+
+class TestObjectKinds:
+    def test_synthetic_repr(self):
+        assert repr(MAIN_LOOPER) == "<main_looper>"
+        assert MAIN_LOOPER == SyntheticObject("main_looper", "android.os.Looper")
+
+    def test_derived_identity(self):
+        base = SyntheticObject("x", "t.C")
+        d1 = DerivedObject(base, "looper", "android.os.Looper")
+        d2 = DerivedObject(base, "looper", "android.os.Looper")
+        assert d1 == d2
+        assert "looper" in repr(d1)
+
+
+class TestArrayFieldNaming:
+    def test_insensitive_always_summary(self):
+        assert array_field_name(Const(3), False) == ARRAY_FIELD
+        assert array_field_name(Var("i"), False) == ARRAY_FIELD
+
+    def test_sensitive_constant_refined(self):
+        assert array_field_name(Const(3), True) == "$elem[3]"
+
+    def test_sensitive_variable_falls_back(self):
+        assert array_field_name(Var("i"), True) == ARRAY_FIELD
+
+    def test_sensitive_non_int_constant_falls_back(self):
+        assert array_field_name(Const("key"), True) == ARRAY_FIELD
+        assert array_field_name(Const(True), True) == ARRAY_FIELD

@@ -1,0 +1,88 @@
+"""Manifest declarations and the Apk container."""
+
+import pytest
+
+from repro.android.apk import Apk, ApkMetadata
+from repro.android.manifest import Manifest
+from repro.ir.builder import ProgramBuilder
+
+
+class TestManifest:
+    def test_main_activity_explicit(self):
+        m = Manifest("com.t")
+        m.add_activity("com.t.A")
+        m.add_activity("com.t.B", is_main=True)
+        assert m.main_activity.class_name == "com.t.B"
+
+    def test_main_activity_defaults_to_first(self):
+        m = Manifest("com.t")
+        m.add_activity("com.t.A")
+        m.add_activity("com.t.B")
+        assert m.main_activity.class_name == "com.t.A"
+
+    def test_main_activity_none_when_empty(self):
+        assert Manifest("com.t").main_activity is None
+
+    def test_activity_lookup(self):
+        m = Manifest("com.t")
+        m.add_activity("com.t.A", layout="main")
+        assert m.activity("com.t.A").layout == "main"
+        with pytest.raises(KeyError):
+            m.activity("com.t.Nope")
+
+    def test_services_receivers(self):
+        m = Manifest("com.t")
+        m.add_service("com.t.S")
+        m.add_receiver("com.t.R", intent_actions=["X"])
+        assert m.services[0].class_name == "com.t.S"
+        assert m.receivers[0].intent_actions == ["X"]
+
+    def test_launch_edges_deduped(self):
+        m = Manifest("com.t")
+        m.add_launch("a", "b")
+        m.add_launch("a", "b")
+        assert m.launches == [("a", "b")]
+
+
+class TestApk:
+    def make(self):
+        pb = ProgramBuilder()
+        act = pb.new_class("com.t.A", superclass="android.app.Activity")
+        act.method("onCreate").ret()
+        apk = Apk("t", pb.build(), Manifest("com.t"), metadata=ApkMetadata(installs="1-5"))
+        apk.manifest.add_activity("com.t.A", layout="main")
+        apk.layouts.new_layout("main")
+        return apk
+
+    def test_framework_installed_on_construction(self):
+        apk = self.make()
+        assert "android.app.Activity" in apk.program.classes
+
+    def test_stats_and_size(self):
+        apk = self.make()
+        stats = apk.stats()
+        assert stats["activities"] == 1
+        assert stats["classes"] == 1
+        assert apk.bytecode_size_kb() > 0
+
+    def test_validate_clean(self):
+        assert self.make().validate().ok
+
+    def test_validate_missing_activity_class(self):
+        apk = self.make()
+        apk.manifest.add_activity("com.t.Ghost")
+        report = apk.validate()
+        assert any("missing from program" in e for e in report.errors)
+
+    def test_validate_unknown_layout(self):
+        apk = self.make()
+        apk.manifest.add_activity("com.t.A2")
+        pb_cls = apk.program.ensure_class("com.t.A2", superclass="android.app.Activity")
+        apk.manifest.activities[-1].layout = "ghost_layout"
+        report = apk.validate()
+        assert any("unknown layout" in e for e in report.errors)
+
+    def test_activity_classes(self):
+        apk = self.make()
+        assert apk.activity_classes() == ["com.t.A"]
+        assert apk.package == "com.t"

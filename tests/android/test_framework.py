@@ -1,0 +1,118 @@
+"""Framework model: registries, hierarchy, installation."""
+
+from repro.android.framework import (
+    ACTIVITY_LIFECYCLE_CALLBACKS,
+    CALLBACK_METHODS,
+    CallbackKind,
+    GUI_CALLBACKS,
+    LISTENER_REGISTRATIONS,
+    POST_APIS,
+    SEND_APIS,
+    framework_entry_callbacks,
+    install_framework,
+    is_framework_class,
+)
+from repro.ir.program import Program
+
+
+def installed() -> Program:
+    return install_framework(Program())
+
+
+class TestInstall:
+    def test_idempotent(self):
+        p = installed()
+        count = len(p.classes)
+        install_framework(p)
+        assert len(p.classes) == count
+
+    def test_core_classes_present(self):
+        p = installed()
+        for name in (
+            "android.app.Activity",
+            "android.os.Handler",
+            "android.os.Looper",
+            "android.os.AsyncTask",
+            "java.lang.Thread",
+            "java.lang.Runnable",
+            "android.content.BroadcastReceiver",
+            "android.view.View",
+            "android.widget.RecycleView",
+        ):
+            assert name in p.classes, name
+
+    def test_framework_classes_flagged(self):
+        p = installed()
+        assert p.class_of("android.app.Activity").is_framework
+
+    def test_activity_is_a_context(self):
+        p = installed()
+        assert p.is_subtype("android.app.Activity", "android.content.Context")
+
+    def test_widgets_are_views(self):
+        p = installed()
+        assert p.is_subtype("android.widget.Button", "android.view.View")
+        assert p.is_subtype("android.widget.RecycleView", "android.view.View")
+
+    def test_handler_has_post_and_send_apis(self):
+        p = installed()
+        handler = p.class_of("android.os.Handler")
+        for api in POST_APIS | SEND_APIS:
+            assert api in handler.methods, api
+
+    def test_activity_lifecycle_methods_exist(self):
+        p = installed()
+        activity = p.class_of("android.app.Activity")
+        for cb in ACTIVITY_LIFECYCLE_CALLBACKS:
+            assert cb in activity.methods
+
+
+class TestRegistries:
+    def test_lifecycle_callbacks_classified(self):
+        assert CALLBACK_METHODS["onCreate"] is CallbackKind.LIFECYCLE
+        assert CALLBACK_METHODS["onClick"] is CallbackKind.GUI
+        assert CALLBACK_METHODS["onReceive"] is CallbackKind.SYSTEM
+        assert CALLBACK_METHODS["doInBackground"] is CallbackKind.TASK
+        assert CALLBACK_METHODS["run"] is CallbackKind.MESSAGE
+
+    def test_gui_callbacks_are_gui_kind(self):
+        for name in GUI_CALLBACKS:
+            assert CALLBACK_METHODS[name] is CallbackKind.GUI
+
+    def test_listener_registration_shapes(self):
+        click = LISTENER_REGISTRATIONS["setOnClickListener"]
+        assert click.callback_methods == ("onClick",)
+        assert click.kind is CallbackKind.GUI
+        assert click.listener_arg_index == 0
+        bind = LISTENER_REGISTRATIONS["bindService"]
+        assert bind.listener_arg_index == 1
+        assert "onServiceConnected" in bind.callback_methods
+        recv = LISTENER_REGISTRATIONS["registerReceiver"]
+        assert recv.kind is CallbackKind.SYSTEM
+
+    def test_registration_callbacks_resolvable_on_interfaces(self):
+        p = installed()
+        for reg in LISTENER_REGISTRATIONS.values():
+            cls = p.classes.get(reg.listener_interface)
+            if cls is None:
+                continue
+            for cb in reg.callback_methods:
+                assert cb in cls.methods, (reg.listener_interface, cb)
+
+
+class TestHelpers:
+    def test_is_framework_class(self):
+        assert is_framework_class("android.app.Activity")
+        assert is_framework_class("java.util.List")
+        assert not is_framework_class("com.example.Main")
+
+    def test_framework_entry_callbacks(self):
+        p = installed()
+        from repro.ir.program import ClassDef, Method
+
+        cls = ClassDef("com.t.A", superclass="android.app.Activity")
+        cls.add_method(Method("com.t.A", "onCreate"))
+        cls.add_method(Method("com.t.A", "helper"))
+        p.add_class(cls)
+        assert framework_entry_callbacks(p, "com.t.A") == ["onCreate"]
+        assert framework_entry_callbacks(p, "no.Such") == []

@@ -1,0 +1,72 @@
+"""Layouts and the DroidEL-style view-id binding."""
+
+import pytest
+
+from repro.android.layout import Layout, LayoutRegistry, ViewDecl
+
+
+class TestLayout:
+    def test_add_and_lookup(self):
+        layout = Layout("main")
+        decl = layout.add_view(7, "android.widget.Button", "btn")
+        assert layout.view_by_id(7) is decl
+        assert layout.view_by_id(8) is None
+
+    def test_default_id_name(self):
+        layout = Layout("main")
+        decl = layout.add_view(9, "android.view.View")
+        assert decl.id_name == "id_9"
+
+    def test_static_callbacks_carried(self):
+        layout = Layout("main")
+        decl = layout.add_view(
+            1, "android.widget.Button", static_callbacks=(("onClick", "submit"),)
+        )
+        assert decl.static_callbacks == (("onClick", "submit"),)
+
+    def test_iteration(self):
+        layout = Layout("main")
+        layout.add_view(1, "a.V")
+        layout.add_view(2, "a.V")
+        assert [v.view_id for v in layout] == [1, 2]
+
+
+class TestRegistry:
+    def test_resolve_across_layouts(self):
+        reg = LayoutRegistry()
+        reg.new_layout("a").add_view(1, "android.widget.Button")
+        reg.new_layout("b").add_view(2, "android.widget.TextView")
+        assert reg.resolve_view(1).widget_class == "android.widget.Button"
+        assert reg.resolve_view(2).widget_class == "android.widget.TextView"
+        assert reg.resolve_view(3) is None
+
+    def test_conflicting_widget_class_rejected(self):
+        reg = LayoutRegistry()
+        reg.new_layout("a").add_view(1, "android.widget.Button")
+        bad = Layout("b")
+        bad.add_view(1, "android.widget.TextView")
+        with pytest.raises(ValueError, match="declared as both"):
+            reg.add_layout(bad)
+
+    def test_same_id_same_class_allowed(self):
+        reg = LayoutRegistry()
+        reg.new_layout("a").add_view(1, "android.widget.Button")
+        dup = Layout("b")
+        dup.add_view(1, "android.widget.Button")
+        reg.add_layout(dup)  # no raise
+        assert len(reg) == 2
+
+    def test_all_view_ids_sorted(self):
+        reg = LayoutRegistry()
+        layout = reg.new_layout("a")
+        layout.add_view(5, "a.V")
+        layout.add_view(2, "a.V")
+        reg.add_layout(layout)
+        assert reg.all_view_ids() == [2, 5]
+
+    def test_layout_lookup_by_name(self):
+        reg = LayoutRegistry()
+        reg.new_layout("main")
+        assert reg.layout("main").name == "main"
+        with pytest.raises(KeyError):
+            reg.layout("missing")

@@ -1,0 +1,114 @@
+"""Handler/Looper association (§4.4) beyond the main looper.
+
+Two handlers bound to the same HandlerThread looper produce same-looper
+(event-race-eligible) actions; a main-looper handler and a HandlerThread
+handler produce cross-looper (data-race) actions.
+"""
+
+import pytest
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.core.actions import ActionKind
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import INT
+
+
+def looper_apk(shared_looper: bool):
+    """onCreate spawns a HandlerThread and posts R1/R2 through handlers.
+
+    ``shared_looper=True`` binds both handlers to the HandlerThread;
+    otherwise R2 goes through a main-looper handler.
+    """
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("cell", INT)
+    for n in (1, 2):
+        r = pb.new_class(f"t.R{n}", interfaces=("java.lang.Runnable",))
+        r.field("owner", "t.A")
+        rm = r.method("run")
+        rm.load("o", "this", "owner")
+        rm.const("v", n)
+        rm.store("o", "cell", "v")
+        rm.ret()
+    oc = act.method("onCreate")
+    oc.new("ht", "android.os.HandlerThread")
+    oc.call("ht", "start")
+    oc.call("ht", "getLooper", dst="bg_lp")
+    oc.new("h1", "android.os.Handler")
+    oc.call_special("h1", "android.os.Handler.<init>", "bg_lp")
+    if shared_looper:
+        oc.new("h2", "android.os.Handler")
+        oc.call_special("h2", "android.os.Handler.<init>", "bg_lp")
+    else:
+        oc.call_static("android.os.Looper.getMainLooper", dst="main_lp")
+        oc.new("h2", "android.os.Handler")
+        oc.call_special("h2", "android.os.Handler.<init>", "main_lp")
+    oc.new("r1", "t.R1")
+    oc.store("r1", "owner", "this")
+    # deliberately post r2 FIRST so rule 4 cannot order r1 before r2 unless
+    # they share a queue... then check affinity classification instead
+    oc.new("r2", "t.R2")
+    oc.store("r2", "owner", "this")
+    oc.call("h1", "post", "r1")
+    oc.call("h2", "post", "r2")
+    oc.ret()
+    apk = Apk("loopers", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+def message_actions(result):
+    return {
+        a.entry_method.class_name: a
+        for a in result.extraction.actions
+        if a.kind is ActionKind.MESSAGE
+    }
+
+
+class TestHandlerThreadAffinity:
+    def test_handler_thread_looper_not_main(self):
+        result = Sierra(SierraOptions()).analyze(looper_apk(shared_looper=True))
+        runs = message_actions(result)
+        assert runs["t.R1"].affinity.kind == "looper"
+        assert runs["t.R2"].affinity.kind == "looper"
+
+    def test_same_looper_messages_are_event_race_eligible(self):
+        result = Sierra(SierraOptions()).analyze(looper_apk(shared_looper=True))
+        runs = message_actions(result)
+        assert runs["t.R1"].affinity.same_looper(runs["t.R2"].affinity)
+
+    def test_same_looper_posts_fifo_ordered(self):
+        """Rule 4 applies on the shared HandlerThread queue: no race."""
+        result = Sierra(SierraOptions()).analyze(looper_apk(shared_looper=True))
+        runs = message_actions(result)
+        assert result.shbg.ordered(runs["t.R1"].id, runs["t.R2"].id)
+        assert not any(p.field_name == "cell" for p in result.surviving)
+
+    def test_cross_looper_messages_race(self):
+        """Different loopers: rule 4's FIFO argument is void, the writes on
+        ``cell`` race (a cross-looper data race)."""
+        result = Sierra(SierraOptions()).analyze(looper_apk(shared_looper=False))
+        runs = message_actions(result)
+        assert runs["t.R2"].affinity.is_main()
+        assert not runs["t.R1"].affinity.same_looper(runs["t.R2"].affinity)
+        racy_fields = {p.field_name for p in result.surviving}
+        assert "cell" in racy_fields
+        (pair,) = [p for p in result.surviving if p.field_name == "cell"]
+        assert pair.kind == "data"
+
+    def test_distinct_handler_threads_distinct_loopers(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        mb = pb.new_class("t.C").method("m")
+        mb.new("ht1", "android.os.HandlerThread")
+        mb.new("ht2", "android.os.HandlerThread")
+        mb.call("ht1", "getLooper", dst="lp1")
+        mb.call("ht2", "getLooper", dst="lp2")
+        mb.ret()
+        from repro.analysis import Entry, analyze
+
+        res = analyze(pb.program, [Entry(mb.method)])
+        mc = [n for n in res.call_graph.nodes if n.method is mb.method][0]
+        assert res.var(mc, "lp1") != res.var(mc, "lp2")

@@ -1,0 +1,87 @@
+"""bindService / ServiceConnection: the listener-at-arg-index-1 dispatch."""
+
+import pytest
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.core.actions import ActionKind
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import INT
+
+
+def bind_service_apk():
+    """onCreate binds a service with a connection callback that writes a
+    field also written by onDestroy — a system-vs-lifecycle race."""
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    conn = pb.new_class(
+        "t.Conn", interfaces=("android.content.ServiceConnection",)
+    )
+    conn.field("act", "t.A")
+    on_conn = conn.method("onServiceConnected")
+    on_conn.load("a", "this", "act")
+    on_conn.const("v", 1)
+    on_conn.store("a", "svcState", "v")
+    on_conn.ret()
+    on_disc = conn.method("onServiceDisconnected")
+    on_disc.load("a", "this", "act")
+    on_disc.load("s", "a", "svcState")
+    on_disc.ret()
+
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("svcState", INT)
+    oc = act.method("onCreate")
+    oc.new("intent", "android.content.Intent")
+    oc.new("c", "t.Conn")
+    oc.store("c", "act", "this")
+    oc.call("this", "bindService", "intent", "c")  # listener is arg index 1
+    oc.ret()
+    od = act.method("onDestroy")
+    od.const("z", 0)
+    od.store("this", "svcState", "z")
+    od.ret()
+
+    apk = Apk("bindsvc", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Sierra(SierraOptions()).analyze(bind_service_apk())
+
+
+class TestServiceConnectionDispatch:
+    def test_connection_callbacks_become_system_actions(self, result):
+        system = [a for a in result.extraction.actions if a.kind is ActionKind.SYSTEM]
+        callbacks = {a.callback for a in system}
+        assert "onServiceConnected" in callbacks
+        assert "onServiceDisconnected" in callbacks
+
+    def test_registration_orders_oncreate_first(self, result):
+        create = next(a for a in result.extraction.actions if a.callback == "onCreate")
+        for a in result.extraction.actions:
+            if a.kind is ActionKind.SYSTEM:
+                assert result.shbg.ordered(create.id, a.id)
+
+    def test_connection_callbacks_sequenced_in_one_arm(self, result):
+        """The harness emits connected; disconnected sequentially, so rule 3
+        orders them (a service cannot disconnect before it connected)."""
+        by_cb = {
+            a.callback: a
+            for a in result.extraction.actions
+            if a.kind is ActionKind.SYSTEM
+        }
+        assert result.shbg.ordered(
+            by_cb["onServiceConnected"].id, by_cb["onServiceDisconnected"].id
+        )
+
+    def test_svc_state_race_with_destroy(self, result):
+        fields = {p.field_name for p in result.surviving}
+        assert "svcState" in fields
+        acts = {a.id: a for a in result.extraction.actions}
+        assert any(
+            p.field_name == "svcState"
+            and ActionKind.SYSTEM in {acts[i].kind for i in p.actions}
+            for p in result.surviving
+        )

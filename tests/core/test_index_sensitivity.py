@@ -1,0 +1,79 @@
+"""Index-sensitive array analysis (the paper's §6.5 future-work item)."""
+
+import pytest
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.ir.builder import ProgramBuilder
+
+
+def array_apk():
+    """Two handlers write *different constant slots* of a shared array:
+    index-insensitively they conflict on the summary cell (a false
+    positive); index-sensitively the cells are distinct.
+
+    A third handler uses a variable index — it must keep conflicting with
+    everything (the summary cell remains sound)."""
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("slots", "java.util.ArrayList")
+    oc = act.method("onCreate")
+    oc.new("a", "java.util.ArrayList")
+    oc.store("this", "slots", "a")
+    oc.ret()
+    h0 = act.method("onWriteSlot0")
+    h0.load("a", "this", "slots")
+    h0.astore("a", 0, 10)
+    h0.ret()
+    h1 = act.method("onWriteSlot1")
+    h1.load("a", "this", "slots")
+    h1.astore("a", 1, 20)
+    h1.ret()
+    hv = act.method("onWriteVar")
+    hv.load("a", "this", "slots")
+    hv.call_static("$nondet$", dst="i")
+    hv.astore("a", "i", 30)
+    hv.ret()
+    apk = Apk("arrays", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", layout="m", is_main=True)
+    layout = apk.layouts.new_layout("m")
+    layout.add_view(1, "android.widget.Button", static_callbacks=(("onClick", "onWriteSlot0"),))
+    layout.add_view(2, "android.widget.Button", static_callbacks=(("onClick", "onWriteSlot1"),))
+    layout.add_view(3, "android.widget.Button", static_callbacks=(("onClick", "onWriteVar"),))
+    return apk
+
+
+def pair_callbacks(result):
+    acts = {a.id: a for a in result.extraction.actions}
+    return {
+        frozenset({acts[p.actions[0]].callback, acts[p.actions[1]].callback})
+        for p in result.surviving
+    }
+
+
+class TestIndexInsensitiveBaseline:
+    def test_constant_slots_conflict_without_refinement(self):
+        result = Sierra(SierraOptions()).analyze(array_apk())
+        pairs = pair_callbacks(result)
+        assert frozenset({"onWriteSlot0", "onWriteSlot1"}) in pairs
+
+
+class TestIndexSensitiveRefinement:
+    def test_distinct_constant_slots_no_longer_conflict(self):
+        result = Sierra(SierraOptions(index_sensitive_arrays=True)).analyze(array_apk())
+        pairs = pair_callbacks(result)
+        assert frozenset({"onWriteSlot0", "onWriteSlot1"}) not in pairs
+
+    def test_variable_index_still_conflicts(self):
+        """Soundness: the unknown-index write races with both constant
+        slots even under the refinement."""
+        result = Sierra(SierraOptions(index_sensitive_arrays=True)).analyze(array_apk())
+        pairs = pair_callbacks(result)
+        assert frozenset({"onWriteVar", "onWriteSlot0"}) in pairs
+        assert frozenset({"onWriteVar", "onWriteSlot1"}) in pairs
+
+    def test_refinement_monotonically_reduces_reports(self):
+        base = Sierra(SierraOptions()).analyze(array_apk())
+        refined = Sierra(SierraOptions(index_sensitive_arrays=True)).analyze(array_apk())
+        assert refined.report.racy_pairs < base.report.racy_pairs

@@ -1,0 +1,85 @@
+"""Race prioritization (§3.1) and benign-guard tagging (§6.5)."""
+
+from repro.core.prioritize import is_benign_guard, rank_races
+from repro.core.report import format_table, median
+
+
+class TestRanking:
+    def test_ranks_are_dense_from_one(self, opensudoku_result):
+        reports = opensudoku_result.report.reports
+        assert [r.rank for r in reports] == list(range(1, len(reports) + 1))
+
+    def test_sorted_by_priority_descending(self, opensudoku_result):
+        prios = [r.priority for r in opensudoku_result.report.reports]
+        assert prios == sorted(prios, reverse=True)
+
+    def test_app_code_races_ranked(self, newsreader_result):
+        for r in newsreader_result.report.reports:
+            assert r.tier == "app"
+
+    def test_library_races_ranked_lower(self, small_synth_result):
+        reports = small_synth_result.report.reports
+        lib = [r for r in reports if r.tier == "library"]
+        app = [r for r in reports if r.tier == "app"]
+        if lib and app:
+            assert max(l.priority for l in lib) < max(a.priority for a in app)
+
+    def test_pointer_race_flagged(self, receiver_result):
+        by_field = {r.field_name: r for r in receiver_result.report.reports}
+        assert by_field["mDB"].pointer_race  # reference-typed cell
+        assert not by_field["isOpen"].pointer_race  # boolean cell
+
+    def test_pointer_race_boosts_priority(self, receiver_result):
+        by_field = {r.field_name: r for r in receiver_result.report.reports}
+        mdb, isopen = by_field["mDB"], by_field["isOpen"]
+        if mdb.benign_guard == isopen.benign_guard and mdb.kind == isopen.kind:
+            assert mdb.priority > isopen.priority
+
+
+class TestBenignGuard:
+    def test_guard_variable_race_tagged(self, opensudoku_result):
+        for r in opensudoku_result.report.reports:
+            if r.field_name == "mIsRunning":
+                assert r.benign_guard
+
+    def test_plain_race_not_tagged(self, quickstart_result):
+        for r in quickstart_result.report.reports:
+            assert not r.benign_guard
+
+    def test_is_benign_guard_direct(self, opensudoku_result):
+        for p in opensudoku_result.surviving:
+            if p.field_name == "mIsRunning":
+                assert is_benign_guard(p)
+
+    def test_describe_mentions_flags(self, opensudoku_result):
+        for r in opensudoku_result.report.reports:
+            text = r.describe()
+            assert text.startswith(f"#{r.rank}")
+            if r.benign_guard:
+                assert "guard-var" in text
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        rows = [{"A": 1, "BB": "x"}, {"A": 22, "BB": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # constant width
+
+    def test_format_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert median([]) == 0.0
+
+    def test_table3_row_keys(self, newsreader_result):
+        row = newsreader_result.report.table3_row()
+        assert row["App"] == "newsreader"
+        assert "Racy Pairs with AS" in row
+
+    def test_table4_row_totals(self, newsreader_result):
+        row = newsreader_result.report.table4_row()
+        assert abs(row["Total"] - (row["CG+PA"] + row["HBG"] + row["Refutation"])) < 0.01

@@ -1,0 +1,95 @@
+"""Access collection and racy-pair enumeration."""
+
+from repro.core.accesses import READ, WRITE, accesses_by_location, collect_accesses
+from repro.core.races import DATA_RACE, EVENT_RACE, find_racy_pairs, racy_pair_stats
+
+
+class TestAccessCollection:
+    def test_reads_and_writes_collected(self, newsreader_result):
+        accesses = collect_accesses(newsreader_result.extraction)
+        kinds = {a.kind for a in accesses}
+        assert kinds == {READ, WRITE}
+
+    def test_every_access_belongs_to_a_member_context(self, newsreader_result):
+        for a in collect_accesses(newsreader_result.extraction):
+            assert a.mc in a.action.members
+
+    def test_empty_pointsto_accesses_dropped(self, newsreader_result):
+        for a in collect_accesses(newsreader_result.extraction):
+            assert a.locations
+
+    def test_location_index(self, newsreader_result):
+        accesses = collect_accesses(newsreader_result.extraction)
+        index = accesses_by_location(accesses)
+        for loc, group in index.items():
+            for a in group:
+                assert loc in a.locations
+
+    def test_describe_mentions_action(self, newsreader_result):
+        a = collect_accesses(newsreader_result.extraction)[0]
+        assert "action" in a.describe()
+
+
+class TestRacyPairs:
+    def test_pairs_are_unordered_actions(self, newsreader_result):
+        shbg = newsreader_result.shbg
+        for p in newsreader_result.racy_pairs:
+            a1, a2 = p.actions
+            assert a1 != a2
+            assert not shbg.comparable(a1, a2)
+
+    def test_pairs_have_a_writer(self, newsreader_result):
+        for p in newsreader_result.racy_pairs:
+            assert p.access1.is_write or p.access2.is_write
+
+    def test_dedup_per_action_pair_and_location(self, newsreader_result):
+        keys = [(p.actions, p.location) for p in newsreader_result.racy_pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_event_vs_data_classification(self, newsreader_result):
+        by_kind = {}
+        for p in newsreader_result.racy_pairs:
+            by_kind.setdefault(p.kind, []).append(p)
+        # Figure 1 yields both: bg write vs main read (data) and
+        # onPostExecute vs onScroll (event)
+        assert EVENT_RACE in by_kind
+        assert DATA_RACE in by_kind
+        for p in by_kind[EVENT_RACE]:
+            assert p.access1.action.affinity.same_looper(p.access2.action.affinity)
+        for p in by_kind[DATA_RACE]:
+            assert not p.access1.action.affinity.same_looper(p.access2.action.affinity)
+
+    def test_figure1_races_found(self, newsreader_result):
+        fields = {p.field_name for p in newsreader_result.racy_pairs}
+        assert "data" in fields  # doInBackground vs onScroll
+        assert "cachedCount" in fields  # onPostExecute vs onScroll
+
+    def test_figure2_races_found(self, receiver_result):
+        fields = {p.field_name for p in receiver_result.racy_pairs}
+        assert "isOpen" in fields  # onReceive vs onStop
+        assert "mDB" in fields  # onReceive vs onDestroy null store
+
+    def test_lifecycle_ordered_fields_not_racy(self, quickstart_result):
+        # counter written in onCreate and handlers: onCreate pairs must be
+        # ordered away; only handler-vs-handler pairs remain
+        for p in quickstart_result.racy_pairs:
+            labels = {p.access1.action.callback, p.access2.action.callback}
+            assert "onCreate" not in labels
+
+    def test_stats_shape(self, newsreader_result):
+        stats = racy_pair_stats(newsreader_result.racy_pairs)
+        assert stats["total"] == len(newsreader_result.racy_pairs)
+        assert stats["event"] + stats["data"] == stats["total"]
+        assert stats["distinct_action_pairs"] <= stats["total"]
+
+
+class TestOrderedPostsProduceNoRaces:
+    def test_rule4_suppresses_sequential_post_pairs(self, small_synth_result):
+        """opost_* cells are written by two FIFO-ordered runnables: rules
+        4/6 must order them, leaving no racy pair on those fields."""
+        fields = {p.field_name for p in small_synth_result.racy_pairs}
+        assert not any(f.startswith("opost_") for f in fields)
+
+    def test_cfg_fields_ordered_by_lifecycle(self, small_synth_result):
+        fields = {p.field_name for p in small_synth_result.racy_pairs}
+        assert not any(f.startswith("cfg_") for f in fields)

@@ -1,0 +1,93 @@
+"""Symbolic refutation (§5) on the figure apps and synthetic idioms."""
+
+import pytest
+
+from repro.core import Sierra, SierraOptions
+from repro.core.refute import RefutationEngine
+from repro.corpus import classify_field
+
+
+def surviving_fields(result):
+    return {p.field_name for p in result.surviving}
+
+
+def candidate_fields(result):
+    return {p.field_name for p in result.racy_pairs}
+
+
+class TestFigure8:
+    def test_guarded_cell_refuted_between_actions(self, opensudoku_result):
+        """The paper's mAccumTime candidate (run vs onPause) is refuted."""
+        acts = {a.id: a for a in opensudoku_result.extraction.actions}
+        for p in opensudoku_result.surviving:
+            if p.field_name != "mAccumTime":
+                continue
+            a1, a2 = p.actions
+            callbacks = {acts[a1].callback, acts[a2].callback}
+            assert callbacks == {"run"}, f"onPause-run pair survived: {callbacks}"
+
+    def test_guard_variable_race_survives(self, opensudoku_result):
+        assert "mIsRunning" in surviving_fields(opensudoku_result)
+
+    def test_candidates_included_guarded_pair(self, opensudoku_result):
+        acts = {a.id: a for a in opensudoku_result.extraction.actions}
+        cross = [
+            p
+            for p in opensudoku_result.racy_pairs
+            if p.field_name == "mAccumTime"
+            and {acts[p.actions[0]].callback, acts[p.actions[1]].callback}
+            == {"run", "onPause"}
+        ]
+        assert cross, "the Figure 8 candidate must exist before refutation"
+
+
+class TestNullGuard:
+    def test_null_guarded_data_refuted_but_pointer_race_kept(self, small_synth_result):
+        fields_before = candidate_fields(small_synth_result)
+        fields_after = surviving_fields(small_synth_result)
+        pdata = {f for f in fields_before if f.startswith("pdata_")}
+        assert pdata, "null-guard idiom must produce candidates"
+        assert not (pdata & fields_after), "null-guarded cell must be refuted"
+        pobj = {f for f in fields_after if f.startswith("pobj_")}
+        assert pobj, "the pointer guard itself remains a (benign) race"
+
+
+class TestGroundTruthSweep:
+    def test_all_refutable_candidates_eliminated(self, small_synth_result):
+        for f in surviving_fields(small_synth_result):
+            assert classify_field(f) != "refutable", f
+
+    def test_true_races_not_over_refuted(self, small_synth_result):
+        survived = surviving_fields(small_synth_result)
+        for prefix in ("evrace_", "bgdata_", "gflag_"):
+            assert any(f.startswith(prefix) for f in survived), prefix
+
+
+class TestEngineMechanics:
+    def test_summary_partitions_candidates(self, opensudoku_result):
+        stats = opensudoku_result.report.refutation_stats
+        assert stats["surviving"] + stats["refuted"] == stats["candidates"]
+
+    def test_budget_starvation_keeps_race(self, opensudoku_apk):
+        """With a 1-node budget nothing can be refuted: every candidate is
+        reported (the paper's over-approximation on timeout)."""
+        result = Sierra(SierraOptions(path_budget=1)).analyze(opensudoku_apk)
+        assert result.report.races_after_refutation == result.report.racy_pairs
+
+    def test_refutation_disabled_keeps_all(self, opensudoku_apk):
+        result = Sierra(SierraOptions(refute=False)).analyze(opensudoku_apk)
+        assert result.report.races_after_refutation == result.report.racy_pairs
+
+    def test_refute_reports_per_pair(self, opensudoku_result):
+        engine = RefutationEngine(opensudoku_result.extraction)
+        summary = engine.refute_all(opensudoku_result.racy_pairs)
+        assert len(summary.results) == len(opensudoku_result.racy_pairs)
+        for r in summary.results:
+            if not r.is_race:
+                assert r.refuted_ordering in ("1<2", "2<1")
+
+    def test_message_constant_facts(self, opensudoku_result):
+        engine = RefutationEngine(opensudoku_result.extraction)
+        for action in opensudoku_result.extraction.actions:
+            facts = engine._facts_of(action)
+            assert isinstance(facts, dict)

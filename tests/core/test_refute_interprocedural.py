@@ -1,0 +1,106 @@
+"""Refutation across call boundaries: constraints flow callee → caller.
+
+The guarded access lives in a helper method; its guard is the helper's
+*parameter*, fed from a field read in the action entry. The backward
+executor must map the parameter constraint onto the caller's argument
+register and land it on the field — then the other action's strong update
+refutes, exactly as in the single-method Figure 8 case.
+"""
+
+import pytest
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import BOOL, INT
+
+
+def interprocedural_guard_apk(guard_in_helper: bool = True):
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("flag", BOOL)
+    act.field("cell", INT)
+
+    helper = act.method("update", params=[("g", BOOL)])
+    if guard_in_helper:
+        helper.if_false("g", "skip")
+    helper.const("v", 1)
+    helper.store("this", "cell", "v")
+    if guard_in_helper:
+        helper.label("skip").ret()
+    else:
+        helper.ret()
+
+    runnable = pb.new_class("t.Tick", interfaces=("java.lang.Runnable",))
+    runnable.field("owner", "t.A")
+    run = runnable.method("run")
+    run.load("o", "this", "owner")
+    run.load("f", "o", "flag")
+    run.call("o", "update", "f")
+    run.ret()
+
+    oc = act.method("onCreate")
+    oc.const("t", True)
+    oc.store("this", "flag", "t")
+    oc.ret()
+
+    orr = act.method("onResume")
+    orr.new("h", "android.os.Handler")
+    orr.new("r", "t.Tick")
+    orr.store("r", "owner", "this")
+    orr.call("h", "post", "r")
+    orr.ret()
+
+    opa = act.method("onPause")
+    opa.load("pf", "this", "flag")
+    opa.if_false("pf", "done")
+    opa.const("ff", False)
+    opa.store("this", "flag", "ff")
+    opa.const("pv", 2)
+    opa.store("this", "cell", "pv")
+    opa.label("done").ret()
+
+    apk = Apk("interproc", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+def cross_pairs(result, field):
+    acts = {a.id: a for a in result.extraction.actions}
+    return [
+        p
+        for p in result.racy_pairs
+        if p.field_name == field
+        and {acts[p.actions[0]].callback, acts[p.actions[1]].callback}
+        == {"run", "onPause"}
+    ]
+
+
+class TestInterproceduralRefutation:
+    def test_candidate_exists(self):
+        result = Sierra(SierraOptions()).analyze(interprocedural_guard_apk())
+        assert cross_pairs(result, "cell")
+
+    def test_guarded_helper_write_refuted(self):
+        """The constraint collected in the helper maps through the call and
+        lands on the flag field — the onPause strong update refutes."""
+        result = Sierra(SierraOptions()).analyze(interprocedural_guard_apk())
+        surviving = {(p.actions, p.location) for p in result.surviving}
+        for p in cross_pairs(result, "cell"):
+            assert (p.actions, p.location) not in surviving
+
+    def test_unguarded_helper_write_survives(self):
+        """Negative control: without the guard the same interprocedural
+        write is a real race and must NOT be refuted."""
+        result = Sierra(SierraOptions()).analyze(
+            interprocedural_guard_apk(guard_in_helper=False)
+        )
+        surviving = {(p.actions, p.location) for p in result.surviving}
+        pairs = cross_pairs(result, "cell")
+        assert pairs
+        assert all((p.actions, p.location) in surviving for p in pairs)
+
+    def test_guard_race_survives_either_way(self):
+        result = Sierra(SierraOptions()).analyze(interprocedural_guard_apk())
+        assert any(p.field_name == "flag" for p in result.surviving)

@@ -1,0 +1,69 @@
+"""Figure apps: validation and expected detection outcomes."""
+
+from repro.core.actions import ActionKind
+
+
+class TestNewsreaderFigure1:
+    def test_validates(self, newsreader_apk):
+        assert newsreader_apk.validate().ok
+
+    def test_intra_component_races_detected(self, newsreader_result):
+        fields = {p.field_name for p in newsreader_result.surviving}
+        assert "data" in fields  # background write vs scroll read
+        assert "cachedCount" in fields  # onPostExecute vs onScroll
+
+    def test_data_race_is_cross_thread(self, newsreader_result):
+        for p in newsreader_result.surviving:
+            if p.field_name == "data":
+                assert p.kind == "data"
+
+    def test_event_race_on_main_looper(self, newsreader_result):
+        for p in newsreader_result.surviving:
+            if p.field_name == "cachedCount":
+                assert p.kind == "event"
+
+
+class TestReceiverFigure2:
+    def test_validates(self, receiver_apk):
+        assert receiver_apk.validate().ok
+
+    def test_inter_component_races_detected(self, receiver_result):
+        fields = {p.field_name for p in receiver_result.surviving}
+        assert "isOpen" in fields
+        assert "mDB" in fields
+
+    def test_receiver_action_involved(self, receiver_result):
+        ext = receiver_result.extraction
+        acts = {a.id: a for a in ext.actions}
+        for p in receiver_result.surviving:
+            if p.field_name == "isOpen":
+                kinds = {acts[i].kind for i in p.actions}
+                assert ActionKind.SYSTEM in kinds
+
+    def test_registration_orders_oncreate_before_onreceive(self, receiver_result):
+        ext, shbg = receiver_result.extraction, receiver_result.shbg
+        create = next(a for a in ext.actions if a.callback == "onCreate")
+        receive = next(a for a in ext.actions if a.callback == "onReceive")
+        assert shbg.ordered(create.id, receive.id)
+
+
+class TestOpenSudokuFigure8:
+    def test_validates(self, opensudoku_apk):
+        assert opensudoku_apk.validate().ok
+
+    def test_refutation_delta(self, opensudoku_result):
+        r = opensudoku_result.report
+        assert r.races_after_refutation < r.racy_pairs
+
+
+class TestQuickstart:
+    def test_single_counter_race(self, quickstart_result):
+        fields = {p.field_name for p in quickstart_result.surviving}
+        assert fields == {"counter"}
+
+    def test_two_handlers_race(self, quickstart_result):
+        ext = quickstart_result.extraction
+        acts = {a.id: a for a in ext.actions}
+        (pair,) = quickstart_result.surviving
+        callbacks = {acts[i].callback for i in pair.actions}
+        assert callbacks == {"onClickIncrement", "onClickReset"}

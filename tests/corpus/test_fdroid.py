@@ -1,0 +1,36 @@
+"""The 174-app F-Droid-style corpus: stability and sanity."""
+
+from repro.corpus import FDROID_APP_COUNT, fdroid_spec, fdroid_specs, generate_fdroid_corpus, synthesize_app
+
+
+class TestSpecs:
+    def test_full_population_size(self):
+        assert len(fdroid_specs()) == FDROID_APP_COUNT == 174
+
+    def test_specs_deterministic(self):
+        assert fdroid_spec(17) == fdroid_spec(17)
+
+    def test_names_unique(self):
+        names = [s.name for s in fdroid_specs()]
+        assert len(names) == len(set(names))
+
+    def test_size_distribution_is_skewed(self):
+        acts = sorted(s.activities for s in fdroid_specs())
+        median = acts[len(acts) // 2]
+        assert 2 <= median <= 8  # paper: 4.5 harnesses median
+        assert acts[-1] > 2 * median  # fat tail
+
+
+class TestGeneration:
+    def test_sampled_apps_validate(self):
+        for index in (0, 41, 99, 173):
+            apk, truth = synthesize_app(fdroid_spec(index))
+            report = apk.validate()
+            assert report.ok, (index, report.errors[:3])
+            assert truth.expected_true_fields() >= 1
+
+    def test_lazy_corpus_iteration(self):
+        gen = generate_fdroid_corpus(3)
+        apks = [apk for apk, _ in gen]
+        assert len(apks) == 3
+        assert all(a.metadata.category == "fdroid" for a in apks)

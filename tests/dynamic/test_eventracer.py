@@ -1,0 +1,82 @@
+"""EventRacer baseline: detection, coverage filter, §6.4 characteristics."""
+
+from repro.core import Sierra, SierraOptions
+from repro.dynamic import EventRacer, compare_with_static, run_eventracer
+
+
+class TestDetection:
+    def test_finds_quickstart_counter_race(self, quickstart_apk):
+        report = run_eventracer(quickstart_apk, schedules=3, max_events=40)
+        fields = {(r.base_class, r.field_name) for r in report.races}
+        assert any(f == "counter" for _c, f in fields)
+
+    def test_finds_figure1_races_eventually(self, newsreader_apk):
+        report = run_eventracer(newsreader_apk, schedules=5, max_events=80)
+        fields = {r.field_name for r in report.races}
+        assert "data" in fields or "cachedCount" in fields
+
+    def test_race_kinds(self, newsreader_apk):
+        report = run_eventracer(newsreader_apk, schedules=5, max_events=80)
+        kinds = {r.kind for r in report.races}
+        assert kinds <= {"event", "data"}
+
+    def test_report_deduplicates_across_schedules(self, quickstart_apk):
+        report = run_eventracer(quickstart_apk, schedules=6, max_events=40)
+        keys = [(r.base_class, r.field_name, r.labels) for r in report.races]
+        assert len(keys) == len(set(keys))
+
+    def test_detection_deterministic(self, opensudoku_apk):
+        r1 = run_eventracer(opensudoku_apk, schedules=3, max_events=50, seed=9)
+        r2 = run_eventracer(opensudoku_apk, schedules=3, max_events=50, seed=9)
+        assert {x.describe() for x in r1.races} == {x.describe() for x in r2.races}
+
+
+class TestRaceCoverageFilter:
+    def test_primitive_guard_filtered(self, opensudoku_apk):
+        """The mAccumTime accesses are both guarded by the primitive
+        mIsRunning flag: EventRacer's coverage filter drops them."""
+        report = run_eventracer(opensudoku_apk, schedules=4, max_events=60)
+        fields = {r.field_name for r in report.races}
+        assert "mAccumTime" not in fields
+        assert report.filtered_by_coverage >= 1
+
+    def test_pointer_guard_not_filtered(self, small_synth):
+        """pdata_* accesses are guarded by a *pointer* null-check, which the
+        coverage filter does not understand — reported (SIERRA refutes these:
+        the 102-of-182 FP category of §6.4)."""
+        apk, _ = small_synth
+        report = run_eventracer(apk, schedules=6, max_events=120, max_activities=2)
+        ptr = [r for r in report.races if r.field_name.startswith("pdata_")]
+        if ptr:  # schedule-dependent; when seen it must carry the FP flag
+            assert all(r.pointer_guarded for r in ptr)
+
+
+class TestCoverageBlindness:
+    def test_dynamic_misses_races_static_finds(self, small_synth):
+        """The §6.4 headline: bounded exploration ⇒ far fewer true races."""
+        apk, _ = small_synth
+        static = Sierra(SierraOptions()).analyze(apk)
+        dynamic = run_eventracer(apk, schedules=2, max_events=30, max_activities=1)
+        assert dynamic.distinct_field_count() < static.report.races_after_refutation
+
+    def test_compare_with_static_keys(self, quickstart_apk):
+        static = Sierra(SierraOptions()).analyze(quickstart_apk)
+        static_fields = {
+            (getattr(p.location.base, "class_name", str(p.location.base)), p.field_name)
+            for p in static.surviving
+        }
+        report = run_eventracer(quickstart_apk, schedules=3, max_events=40)
+        comparison = compare_with_static(static_fields, report)
+        assert comparison["static"] == len(static_fields)
+        assert comparison["missed_by_dynamic"] >= 0
+
+
+class TestUiOrderingWeakness:
+    def test_ui_vs_lifecycle_report_possible(self, receiver_apk):
+        """EventRacer does not order system events against later lifecycle
+        callbacks — it reports onReceive vs onStop, like SIERRA, but also
+        would report UI-after-stop pairs SIERRA rules out (exercised via
+        the synthetic corpus in the Table 3 bench)."""
+        report = run_eventracer(receiver_apk, schedules=5, max_events=80)
+        labels = {l for r in report.races for l in r.labels}
+        assert any("onReceive" in l for l in labels)

@@ -1,0 +1,232 @@
+"""Concrete interpreter: values, heap, dispatch, framework semantics."""
+
+import random
+
+from repro.android import Apk, Manifest, install_framework
+from repro.dynamic.interpreter import Interpreter, RtObject
+from repro.dynamic.scheduler import Runtime, Trace
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import BinOp, CmpOp
+from repro.ir.types import INT, OBJECT
+
+
+def make_rt(pb):
+    apk = Apk("t", pb.build(), Manifest("t"))
+    trace = Trace(seed=0)
+    rt = Runtime(apk, random.Random(0), trace)
+    rt.begin_event("test", "test", "main", ())
+    return apk, rt, Interpreter(apk, rt)
+
+
+def run(emit, params=(), args=(), receiver=None):
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    mb = pb.new_class("t.C").method("m", params=params)
+    emit(mb)
+    apk, rt, interp = make_rt(pb)
+    value = interp.run_method(mb.method, receiver or RtObject("t.C"), tuple(args))
+    return value, rt
+
+
+class TestValues:
+    def test_arithmetic(self):
+        def emit(b):
+            b.const("x", 4)
+            b.const("y", 3)
+            b.binop("z", "x", BinOp.ADD, "y")
+            b.binop("w", "z", BinOp.MUL, 2)
+            b.ret("w")
+
+        value, _ = run(emit)
+        assert value == 14
+
+    def test_compare_and_branch(self):
+        def emit(b):
+            b.const("x", 5)
+            b.if_(lhs="x", op=CmpOp.GT, rhs=3, target="big")
+            b.const("r", 0)
+            b.ret("r")
+            b.label("big").const("r", 1)
+            b.ret("r")
+
+        value, _ = run(emit)
+        assert value == 1
+
+    def test_loop_terminates_and_counts(self):
+        def emit(b):
+            b.const("i", 0)
+            b.label("head").cmp("done", "i", CmpOp.GE, 3)
+            b.if_true("done", "end")
+            b.binop("i", "i", BinOp.ADD, 1)
+            b.goto("head")
+            b.label("end").ret("i")
+
+        value, _ = run(emit)
+        assert value == 3
+
+    def test_runaway_loop_cut_off(self):
+        def emit(b):
+            b.label("head").goto("head")
+
+        value, _ = run(emit)  # must return, not hang
+        assert value is None
+
+    def test_division_by_zero_is_safe(self):
+        def emit(b):
+            b.const("x", 1)
+            b.binop("y", "x", BinOp.DIV, 0)
+            b.ret("y")
+
+        value, _ = run(emit)
+        assert value == 1  # divisor defaulted to 1
+
+
+class TestHeap:
+    def test_field_roundtrip_records_accesses(self):
+        def emit(b):
+            b.new("o", "t.C")
+            b.const("v", 9)
+            b.store("o", "f", "v")
+            b.load("w", "o", "f")
+            b.ret("w")
+
+        value, rt = run(emit)
+        assert value == 9
+        kinds = [(a.kind, a.field_name) for a in rt.trace.accesses]
+        assert ("write", "f") in kinds and ("read", "f") in kinds
+
+    def test_static_roundtrip(self):
+        def emit(b):
+            b.const("v", 5)
+            b.sstore("t.C", "g", "v")
+            b.sload("w", "t.C", "g")
+            b.ret("w")
+
+        value, rt = run(emit)
+        assert value == 5
+
+    def test_null_dereference_logged_not_crashing(self):
+        def emit(b):
+            b.const("p", None)
+            b.load("w", "p", "f")
+            b.ret("w")
+
+        value, rt = run(emit)
+        assert value is None
+        assert any("NullPointerException" in e[2] for e in rt.trace.exceptions)
+
+    def test_array_cells(self):
+        def emit(b):
+            b.new("arr", "t.C")
+            b.astore("arr", 0, 7)
+            b.aload("w", "arr", 3)
+            b.ret("w")
+
+        value, _ = run(emit)
+        assert value == 7  # index-insensitive model
+
+
+class TestDispatch:
+    def test_virtual_dispatch_to_override(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        base = pb.new_class("t.Base")
+        bm = base.method("who")
+        bm.const("r", 1)
+        bm.ret("r")
+        sub = pb.new_class("t.Sub", superclass="t.Base")
+        sm = sub.method("who")
+        sm.const("r", 2)
+        sm.ret("r")
+        caller = pb.new_class("t.Main").method("m")
+        caller.new("o", "t.Sub")
+        caller.call("o", "who", dst="r")
+        caller.ret("r")
+        apk, rt, interp = make_rt(pb)
+        value = interp.run_method(caller.method, RtObject("t.Main"))
+        assert value == 2
+
+    def test_parameter_passing(self):
+        def emit(b):
+            b.ret("x")
+
+        value, _ = run(emit, params=[("x", INT)], args=(42,))
+        assert value == 42
+
+    def test_unbound_params_default_none(self):
+        def emit(b):
+            b.ret("x")
+
+        value, _ = run(emit, params=[("x", OBJECT)])
+        assert value is None
+
+
+class TestFrameworkSemantics:
+    def test_find_view_by_id_singleton(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        act = pb.new_class("t.A", superclass="android.app.Activity")
+        mb = act.method("m")
+        mb.call("this", "findViewById", 7, dst="v1")
+        mb.call("this", "findViewById", 7, dst="v2")
+        mb.cmp("same", "v1", CmpOp.EQ, "v2")
+        mb.ret("same")
+        apk, rt, interp = make_rt(pb)
+        assert interp.run_method(mb.method, RtObject("t.A")) is True
+
+    def test_post_enqueues_to_main_queue(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        r = pb.new_class("t.R", interfaces=("java.lang.Runnable",))
+        r.method("run").ret()
+        mb = pb.new_class("t.C").method("m")
+        mb.new("h", "android.os.Handler")
+        mb.new("r", "t.R")
+        mb.call("h", "post", "r")
+        mb.ret()
+        apk, rt, interp = make_rt(pb)
+        interp.run_method(mb.method, RtObject("t.C"))
+        assert len(rt.main_queue) == 1
+        assert rt.main_queue[0].method.signature == "t.R.run"
+
+    def test_thread_start_spawns_bg_task(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        t = pb.new_class("t.T", superclass="java.lang.Thread")
+        t.method("run").ret()
+        mb = pb.new_class("t.C").method("m")
+        mb.new("t", "t.T")
+        mb.call("t", "start")
+        mb.ret()
+        apk, rt, interp = make_rt(pb)
+        interp.run_method(mb.method, RtObject("t.C"))
+        assert len(rt.bg_tasks) == 1
+
+    def test_listener_registration_recorded(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        listener = pb.new_class("t.L", interfaces=("android.view.View.OnClickListener",))
+        listener.method("onClick").ret()
+        mb = pb.new_class("t.A", superclass="android.app.Activity").method("m")
+        mb.call("this", "findViewById", 3, dst="v")
+        mb.new("l", "t.L")
+        mb.call("v", "setOnClickListener", "l")
+        mb.ret()
+        apk, rt, interp = make_rt(pb)
+        interp.run_method(mb.method, RtObject("t.A"))
+        assert len(rt.registrations) == 1
+        assert rt.registrations[0].callback_methods == ("onClick",)
+
+    def test_unregister_removes(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        recv = pb.new_class("t.R", superclass="android.content.BroadcastReceiver")
+        recv.method("onReceive").ret()
+        mb = pb.new_class("t.A", superclass="android.app.Activity").method("m")
+        mb.new("r", "t.R")
+        mb.call("this", "registerReceiver", "r")
+        mb.call("this", "unregisterReceiver", "r")
+        mb.ret()
+        apk, rt, interp = make_rt(pb)
+        interp.run_method(mb.method, RtObject("t.A"))
+        assert rt.registrations == []

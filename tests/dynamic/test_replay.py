@@ -1,0 +1,85 @@
+"""Replay-based verification of static candidates (§6.4's combination)."""
+
+from repro.core import Sierra, SierraOptions
+from repro.dynamic import (
+    BENIGN,
+    HARMFUL,
+    ReplayVerifier,
+    UNCONFIRMED,
+    verify_candidates,
+)
+
+
+class TestQuickstartLostUpdate:
+    def test_counter_race_verified_harmful(self, quickstart_apk, quickstart_result):
+        report = verify_candidates(
+            quickstart_apk, quickstart_result, schedules=30, max_events=50
+        )
+        (verdict,) = report.verdicts
+        assert verdict.status == HARMFUL  # 1-vs-0 final value: lost update
+        assert verdict.order_ab is not None and verdict.order_ba is not None
+        assert verdict.order_ab.diverges_from(verdict.order_ba)
+
+
+class TestGuardRacesBenign:
+    def test_guard_variable_races_commute(self, opensudoku_apk, opensudoku_result):
+        report = verify_candidates(
+            opensudoku_apk, opensudoku_result, schedules=30, max_events=60
+        )
+        statuses = {
+            v.pair.field_name: v.status
+            for v in report.verdicts
+            if v.status != UNCONFIRMED
+        }
+        # whenever a guard race is witnessed in both orders it is benign
+        assert statuses.get("mIsRunning") in (None, BENIGN)
+        assert HARMFUL not in {
+            v.status for v in report.verdicts if v.pair.field_name == "mIsRunning"
+        }
+
+
+class TestCoverageLimits:
+    def test_zero_schedules_everything_unconfirmed(
+        self, quickstart_apk, quickstart_result
+    ):
+        report = verify_candidates(
+            quickstart_apk, quickstart_result, schedules=0
+        )
+        assert all(v.status == UNCONFIRMED for v in report.verdicts)
+
+    def test_counts_partition(self, opensudoku_apk, opensudoku_result):
+        report = verify_candidates(
+            opensudoku_apk, opensudoku_result, schedules=10, max_events=40
+        )
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.verdicts) == len(
+            opensudoku_result.surviving
+        )
+
+    def test_verifier_traces_cached(self, quickstart_apk, quickstart_result):
+        verifier = ReplayVerifier(quickstart_apk, schedules=5, max_events=30)
+        verifier.verify_all(quickstart_result)
+        traces = verifier._all_traces()
+        assert traces is verifier._all_traces()  # reused, not regenerated
+
+    def test_deterministic(self, quickstart_apk, quickstart_result):
+        r1 = verify_candidates(quickstart_apk, quickstart_result, schedules=8, seed=3)
+        r2 = verify_candidates(quickstart_apk, quickstart_result, schedules=8, seed=3)
+        assert [v.status for v in r1.verdicts] == [v.status for v in r2.verdicts]
+
+
+class TestOutcomeSemantics:
+    def test_divergence_on_exception_difference(self):
+        from repro.dynamic.replay import OrderOutcome
+
+        quiet = OrderOutcome(0, "a", "b", (), 1)
+        crashing = OrderOutcome(1, "b", "a", ("NullPointerException",), 1)
+        assert quiet.diverges_from(crashing)
+
+    def test_divergence_on_final_value(self):
+        from repro.dynamic.replay import OrderOutcome
+
+        one = OrderOutcome(0, "a", "b", (), 1)
+        two = OrderOutcome(1, "b", "a", (), 2)
+        assert one.diverges_from(two)
+        assert not one.diverges_from(OrderOutcome(2, "b", "a", (), 1))

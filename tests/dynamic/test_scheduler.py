@@ -1,0 +1,110 @@
+"""The schedule driver: determinism, lifecycle legality, FIFO looper."""
+
+import pytest
+
+from repro.dynamic.scheduler import ExecutionDriver, _LIFECYCLE_CHOICES
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, opensudoku_apk):
+        t1 = ExecutionDriver(opensudoku_apk, seed=5, max_events=40).run()
+        t2 = ExecutionDriver(opensudoku_apk, seed=5, max_events=40).run()
+        assert [e.label for e in t1.events] == [e.label for e in t2.events]
+        assert len(t1.accesses) == len(t2.accesses)
+
+    def test_different_seeds_usually_differ(self, opensudoku_apk):
+        labels = set()
+        for seed in range(4):
+            t = ExecutionDriver(opensudoku_apk, seed=seed, max_events=40).run()
+            labels.add(tuple(e.label for e in t.events))
+        assert len(labels) > 1
+
+
+def full_lifecycle_apk():
+    from repro.android import Apk, Manifest, install_framework
+    from repro.ir.builder import ProgramBuilder
+
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    for cb in ("onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart", "onDestroy"):
+        act.method(cb).ret()
+    apk = Apk("lc", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", is_main=True)
+    return apk
+
+
+class TestLifecycleLegality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_callback_order_respects_state_machine(self, seed):
+        # every callback overridden, so the executed sequence IS the state
+        # machine walk (no silently-skipped states)
+        trace = ExecutionDriver(full_lifecycle_apk(), seed=seed, max_events=60).run()
+        allowed_after = {
+            "onCreate": {"onStart"},
+            "onStart": {"onResume"},
+            "onResume": {"onPause"},
+            "onPause": {"onResume", "onStop"},
+            "onStop": {"onRestart", "onDestroy"},
+            "onRestart": {"onStart"},
+            "onDestroy": set(),
+        }
+        lifecycle = [
+            e.label.split(".")[-1]
+            for e in trace.events
+            if e.kind == "lifecycle"
+        ]
+        for prev, nxt in zip(lifecycle, lifecycle[1:]):
+            assert nxt in allowed_after[prev], f"{prev} -> {nxt}"
+
+    def test_oncreate_always_first_lifecycle(self, receiver_apk):
+        trace = ExecutionDriver(receiver_apk, seed=1, max_events=40).run()
+        lifecycle = [e for e in trace.events if e.kind == "lifecycle"]
+        if lifecycle:
+            assert lifecycle[0].label.endswith("onCreate")
+
+    def test_lifecycle_choices_table_closed(self):
+        states = set(_LIFECYCLE_CHOICES) | {"destroyed", "resumed", "created", "started", "paused", "stopped", "started-restart", "init"}
+        for transitions in _LIFECYCLE_CHOICES.values():
+            for _cb, next_state in transitions:
+                assert next_state in states
+
+
+class TestEventParents:
+    def test_posted_message_parented_by_poster(self, opensudoku_apk):
+        trace = ExecutionDriver(opensudoku_apk, seed=2, max_events=60).run()
+        for event in trace.events:
+            if event.kind == "message":
+                assert event.parents, event
+                for p in event.parents:
+                    assert p < event.id  # parents precede children
+
+    def test_async_post_parented_by_bg(self, newsreader_apk):
+        for seed in range(6):
+            trace = ExecutionDriver(newsreader_apk, seed=seed, max_events=80).run()
+            posts = [e for e in trace.events if e.kind == "async-post"]
+            if not posts:
+                continue
+            for post in posts:
+                parents = [trace.event(p) for p in post.parents]
+                assert any(p.kind == "async-bg" for p in parents)
+            return
+        pytest.skip("no schedule executed an AsyncTask completion")
+
+    def test_bg_threads_get_distinct_thread_ids(self, newsreader_apk):
+        trace = ExecutionDriver(newsreader_apk, seed=3, max_events=80).run()
+        bg_threads = [e.thread for e in trace.events if e.thread != "main"]
+        assert len(bg_threads) == len(set(bg_threads))
+
+
+class TestCoverageKnob:
+    def test_max_activities_limits_exploration(self, small_synth):
+        apk, _ = small_synth
+        trace = ExecutionDriver(apk, seed=0, max_events=60, max_activities=1).run()
+        components = {e.label.split(".")[0] for e in trace.events if e.kind == "lifecycle"}
+        assert components <= {"Activity0"}
+
+    def test_max_events_bounds_trace(self, small_synth):
+        apk, _ = small_synth
+        trace = ExecutionDriver(apk, seed=0, max_events=10).run()
+        assert len(trace.events) <= 10

@@ -1,0 +1,64 @@
+"""Vector clocks and dynamic happens-before."""
+
+from repro.dynamic.scheduler import DynEvent, Trace
+from repro.dynamic.vectorclock import TraceOrder, VectorClock, happens_before
+
+
+def trace_of(parents_list):
+    trace = Trace(seed=0)
+    for i, parents in enumerate(parents_list):
+        trace.events.append(
+            DynEvent(id=i, label=f"e{i}", kind="t", thread="main", parents=tuple(parents))
+        )
+    return trace
+
+
+class TestVectorClock:
+    def test_join(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({1: 2})
+        j = VectorClock.join([a, b])
+        assert j.components == {0: 1, 1: 2}
+
+    def test_dominates(self):
+        a = VectorClock({0: 1, 1: 1})
+        b = VectorClock({0: 1})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestTraceOrder:
+    def test_chain(self):
+        order = TraceOrder(trace_of([[], [0], [1]]))
+        assert order.happens_before(0, 2)
+        assert not order.happens_before(2, 0)
+        assert not order.concurrent(0, 2)
+
+    def test_independent_events_concurrent(self):
+        order = TraceOrder(trace_of([[], []]))
+        assert order.concurrent(0, 1)
+
+    def test_diamond_join(self):
+        order = TraceOrder(trace_of([[], [0], [0], [1, 2]]))
+        assert order.happens_before(0, 3)
+        assert order.happens_before(1, 3)
+        assert order.concurrent(1, 2)
+
+    def test_clocks_dominate_ancestors(self):
+        trace = trace_of([[], [0], [1]])
+        order = TraceOrder(trace)
+        assert order.clocks[2].dominates(order.clocks[0])
+
+    def test_helper_function(self):
+        assert happens_before(trace_of([[], [0]]), 0, 1)
+
+    def test_hb_is_irreflexive_and_antisymmetric(self):
+        order = TraceOrder(trace_of([[], [0], [0, 1], [2]]))
+        n = 4
+        for a in range(n):
+            assert not order.happens_before(a, a)
+            for b in range(n):
+                if a != b:
+                    assert not (
+                        order.happens_before(a, b) and order.happens_before(b, a)
+                    )

@@ -1,0 +1,113 @@
+"""Fluent builder: operand coercion, labels, emitted instruction shapes."""
+
+from repro.ir.builder import ProgramBuilder, lit
+from repro.ir.instructions import (
+    Assign,
+    CmpOp,
+    Const,
+    FieldStore,
+    If,
+    Invoke,
+    InvokeKind,
+    New,
+    Var,
+)
+from repro.ir.types import INT
+
+
+def fresh_method():
+    pb = ProgramBuilder()
+    return pb, pb.new_class("t.C").method("m")
+
+
+class TestCoercion:
+    def test_string_is_register(self):
+        _, mb = fresh_method()
+        instr = mb.move("x", "y")
+        assert isinstance(instr, Assign) and instr.src == Var("y")
+
+    def test_int_bool_none_are_constants(self):
+        _, mb = fresh_method()
+        assert mb.move("x", 3).src == Const(3)
+        assert mb.move("x", True).src == Const(True)
+        assert mb.move("x", None).src == Const(None)
+
+    def test_lit_wraps_string_literal(self):
+        _, mb = fresh_method()
+        assert mb.move("x", lit("hello")).src == Const("hello")
+
+
+class TestEmission:
+    def test_label_attaches_to_next_instruction(self):
+        _, mb = fresh_method()
+        instr = mb.label("L").const("x", 1)
+        assert instr.label == "L"
+        follow = mb.const("y", 2)
+        assert follow.label is None
+
+    def test_linenos_are_monotonic(self):
+        _, mb = fresh_method()
+        a = mb.const("x", 1)
+        b = mb.const("y", 2)
+        assert b.lineno == a.lineno + 1
+
+    def test_new(self):
+        _, mb = fresh_method()
+        instr = mb.new("o", "t.C")
+        assert isinstance(instr, New) and instr.class_name == "t.C"
+
+    def test_store_coerces_source(self):
+        _, mb = fresh_method()
+        instr = mb.store("o", "f", 5)
+        assert isinstance(instr, FieldStore) and instr.src == Const(5)
+
+    def test_if_helpers(self):
+        _, mb = fresh_method()
+        mb.label("L").nop()
+        t = mb.if_true("c", "L")
+        assert isinstance(t, If) and t.op is CmpOp.EQ and t.rhs == Const(True)
+        n = mb.if_null("p", "L")
+        assert n.rhs == Const(None)
+        nn = mb.if_not_null("p", "L")
+        assert nn.op is CmpOp.NE
+
+    def test_call_kinds(self):
+        _, mb = fresh_method()
+        v = mb.call("o", "run", dst="r")
+        assert isinstance(v, Invoke) and v.kind is InvokeKind.VIRTUAL
+        assert v.dst == Var("r") and v.receiver == Var("o")
+        s = mb.call_static("a.B.m", 1)
+        assert s.kind is InvokeKind.STATIC and s.receiver is None
+        sp = mb.call_special("o", "a.B.<init>", "x")
+        assert sp.kind is InvokeKind.SPECIAL and sp.receiver == Var("o")
+
+    def test_ret_value_optional(self):
+        _, mb = fresh_method()
+        assert mb.ret().value is None
+        assert mb.ret("x").value == Var("x")
+
+
+class TestClassAndProgramBuilder:
+    def test_field_accepts_string_type(self):
+        pb = ProgramBuilder()
+        cb = pb.new_class("t.C")
+        fd = cb.field("f", "t.Other")
+        assert fd.type.class_name == "t.Other"
+        fd2 = cb.field("g", INT)
+        assert fd2.type is INT
+
+    def test_methods_registered_on_class(self):
+        pb = ProgramBuilder()
+        cb = pb.new_class("t.C")
+        cb.method("m").ret()
+        assert "m" in pb.program.class_of("t.C").methods
+
+    def test_class_builder_for_existing(self):
+        pb = ProgramBuilder()
+        pb.new_class("t.C")
+        cb = pb.class_builder("t.C")
+        assert cb.name == "t.C"
+
+    def test_build_returns_program(self):
+        pb = ProgramBuilder()
+        assert pb.build() is pb.program

@@ -1,0 +1,100 @@
+"""Instruction dataclasses: operators, operand helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.instructions import (
+    Assign,
+    Binary,
+    BinOp,
+    CmpOp,
+    Compare,
+    Const,
+    FieldLoad,
+    FieldStore,
+    If,
+    Invoke,
+    InvokeKind,
+    Return,
+    Var,
+    defined_var,
+    used_operands,
+)
+
+
+class TestCmpOp:
+    def test_negations_are_involutive(self):
+        for op in CmpOp:
+            assert op.negate().negate() is op
+
+    def test_negate_pairs(self):
+        assert CmpOp.EQ.negate() is CmpOp.NE
+        assert CmpOp.LT.negate() is CmpOp.GE
+        assert CmpOp.LE.negate() is CmpOp.GT
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_evaluate_matches_python(self, a, b):
+        assert CmpOp.EQ.evaluate(a, b) == (a == b)
+        assert CmpOp.NE.evaluate(a, b) == (a != b)
+        assert CmpOp.LT.evaluate(a, b) == (a < b)
+        assert CmpOp.GE.evaluate(a, b) == (a >= b)
+
+    def test_evaluate_null_equality(self):
+        assert CmpOp.EQ.evaluate(None, None)
+        assert CmpOp.NE.evaluate(None, 3)
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_negation_is_complement(self, a, b):
+        for op in CmpOp:
+            assert op.evaluate(a, b) != op.negate().evaluate(a, b)
+
+
+class TestOperandHelpers:
+    def test_defined_var(self):
+        assert defined_var(Assign(Var("x"), Const(1))) == Var("x")
+        assert defined_var(FieldStore(Var("o"), "f", Const(1))) is None
+        assert defined_var(Return(Const(0))) is None
+
+    def test_used_operands_assign(self):
+        assert used_operands(Assign(Var("x"), Var("y"))) == [Var("y")]
+
+    def test_used_operands_field_traffic(self):
+        assert used_operands(FieldLoad(Var("d"), Var("o"), "f")) == [Var("o")]
+        assert used_operands(FieldStore(Var("o"), "f", Var("s"))) == [Var("o"), Var("s")]
+
+    def test_used_operands_invoke(self):
+        instr = Invoke(
+            dst=Var("r"),
+            kind=InvokeKind.VIRTUAL,
+            method_name="m",
+            receiver=Var("o"),
+            args=(Var("a"), Const(3)),
+        )
+        assert used_operands(instr) == [Var("o"), Var("a"), Const(3)]
+
+    def test_used_operands_binary_compare_if(self):
+        assert used_operands(Binary(Var("d"), BinOp.ADD, Var("a"), Const(1))) == [
+            Var("a"),
+            Const(1),
+        ]
+        assert len(used_operands(Compare(Var("d"), CmpOp.EQ, Var("a"), Var("b")))) == 2
+        assert len(used_operands(If(CmpOp.EQ, Var("a"), Const(0), "L"))) == 2
+
+    def test_used_operands_void_return(self):
+        assert used_operands(Return()) == []
+
+
+class TestInvokeDescribe:
+    def test_virtual(self):
+        instr = Invoke(None, InvokeKind.VIRTUAL, "run", Var("r"))
+        assert instr.describe() == "r.run()"
+
+    def test_static_with_args(self):
+        instr = Invoke(None, InvokeKind.STATIC, "a.B.m", None, (Const(1),))
+        assert "a.B.m" in instr.describe()
+
+
+def test_vars_are_value_equal():
+    assert Var("x") == Var("x")
+    assert Const(None) == Const(None)
+    assert Var("x") != Var("y")

@@ -1,0 +1,120 @@
+"""Class hierarchy, member resolution, program stats."""
+
+import pytest
+
+from repro.ir.program import ClassDef, Method, Program
+from repro.ir.types import INT, OBJECT
+
+
+def hierarchy() -> Program:
+    p = Program()
+    base = ClassDef("a.Base")
+    base.add_method(Method("a.Base", "m"))
+    base.add_method(Method("a.Base", "only_base"))
+    base.add_field("shared", INT)
+    p.add_class(base)
+    iface = ClassDef("a.I", is_interface=True)
+    p.add_class(iface)
+    mid = ClassDef("a.Mid", superclass="a.Base", interfaces=("a.I",))
+    mid.add_method(Method("a.Mid", "m"))
+    p.add_class(mid)
+    leaf = ClassDef("a.Leaf", superclass="a.Mid")
+    p.add_class(leaf)
+    return p
+
+
+class TestHierarchy:
+    def test_supertypes_nearest_first(self):
+        p = hierarchy()
+        sups = p.supertypes("a.Leaf")
+        assert sups.index("a.Mid") < sups.index("a.Base")
+        assert "a.I" in sups
+        assert "java.lang.Object" in sups
+
+    def test_is_subtype(self):
+        p = hierarchy()
+        assert p.is_subtype("a.Leaf", "a.Base")
+        assert p.is_subtype("a.Leaf", "a.I")
+        assert p.is_subtype("a.Base", "a.Base")
+        assert not p.is_subtype("a.Base", "a.Leaf")
+
+    def test_subtypes(self):
+        p = hierarchy()
+        assert p.subtypes("a.Base") == {"a.Base", "a.Mid", "a.Leaf"}
+        assert "a.Mid" in p.subtypes("a.I")
+
+    def test_subtypes_cache_invalidated_on_add(self):
+        p = hierarchy()
+        assert "a.New" not in p.subtypes("a.Base")
+        p.add_class(ClassDef("a.New", superclass="a.Base"))
+        assert "a.New" in p.subtypes("a.Base")
+
+    def test_object_root_has_no_super(self):
+        p = Program()
+        assert p.class_of("java.lang.Object").superclass is None
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError, match="unknown class"):
+            Program().class_of("no.Such")
+
+
+class TestResolution:
+    def test_virtual_dispatch_prefers_override(self):
+        p = hierarchy()
+        m = p.resolve_method("a.Leaf", "m")
+        assert m is not None and m.class_name == "a.Mid"
+
+    def test_inherited_method(self):
+        p = hierarchy()
+        m = p.resolve_method("a.Leaf", "only_base")
+        assert m is not None and m.class_name == "a.Base"
+
+    def test_missing_method(self):
+        assert hierarchy().resolve_method("a.Leaf", "nope") is None
+
+    def test_abstract_methods_skipped(self):
+        p = Program()
+        cls = ClassDef("a.A")
+        cls.add_method(Method("a.A", "m", is_abstract=True))
+        p.add_class(cls)
+        assert p.resolve_method("a.A", "m") is None
+
+    def test_lookup_static(self):
+        p = hierarchy()
+        assert p.lookup_static("a.Base.m") is not None
+        assert p.lookup_static("a.Leaf.only_base") is not None  # inherited
+        assert p.lookup_static("a.Base.nope") is None
+        assert p.lookup_static("nodots") is None
+
+    def test_resolve_field_walks_up(self):
+        p = hierarchy()
+        resolved = p.resolve_field("a.Leaf", "shared")
+        assert resolved is not None
+        owner, fd = resolved
+        assert owner == "a.Base" and fd.type is INT
+        assert p.resolve_field("a.Leaf", "ghost") is None
+
+
+class TestStatsAndViews:
+    def test_param_vars_include_this(self):
+        m = Method("a.B", "m", params=[("x", OBJECT)])
+        assert [v.name for v in m.param_vars] == ["this", "x"]
+        s = Method("a.B", "s", params=[("x", OBJECT)], is_static=True)
+        assert [v.name for v in s.param_vars] == ["x"]
+
+    def test_app_vs_framework_classes(self):
+        p = hierarchy()
+        p.add_class(ClassDef("android.x.Y", is_framework=True))
+        assert all(not c.is_framework for c in p.app_classes())
+
+    def test_bytecode_size_grows_with_code(self):
+        p = hierarchy()
+        before = p.bytecode_size_bytes()
+        m = p.resolve_method("a.Base", "m")
+        from repro.ir.instructions import Return
+
+        m.append(Return())
+        assert p.bytecode_size_bytes() > before
+
+    def test_signature(self):
+        assert Method("a.B", "m").signature == "a.B.m"

@@ -1,0 +1,81 @@
+"""IR validation: catching malformed programs before analysis."""
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import ClassDef
+from repro.ir.validate import validate_program
+
+
+def test_clean_program_validates(quickstart_apk):
+    report = validate_program(quickstart_apk.program)
+    assert report.ok, report.errors
+
+
+def test_branch_to_unknown_label():
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m")
+    mb.goto("missing")
+    report = validate_program(pb.program)
+    assert any("unknown label" in e for e in report.errors)
+
+
+def test_allocation_of_unknown_class():
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m")
+    mb.new("o", "no.Such")
+    mb.ret()
+    report = validate_program(pb.program)
+    assert any("unknown class" in e for e in report.errors)
+
+
+def test_undefined_register_use():
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m")
+    mb.move("x", "ghost")
+    mb.ret()
+    report = validate_program(pb.program)
+    assert any("never defined" in e for e in report.errors)
+
+
+def test_params_and_this_are_defined():
+    from repro.ir.types import OBJECT
+
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m", params=[("p", OBJECT)])
+    mb.move("x", "p")
+    mb.load("y", "this", "f")
+    mb.ret()
+    report = validate_program(pb.program)
+    assert report.ok, report.errors
+
+
+def test_unresolved_direct_call_is_warning_not_error():
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m")
+    mb.call_static("no.Such.m")
+    mb.ret()
+    report = validate_program(pb.program)
+    assert report.ok
+    assert any("unresolved" in w for w in report.warnings)
+
+
+def test_dollar_intrinsics_not_warned():
+    pb = ProgramBuilder()
+    mb = pb.new_class("t.C").method("m")
+    mb.call_static("$nondet$", dst="x")
+    mb.ret()
+    report = validate_program(pb.program)
+    assert not report.warnings
+
+
+def test_unknown_superclass_is_error():
+    pb = ProgramBuilder()
+    pb.program.add_class(ClassDef("t.C", superclass="no.Parent"))
+    report = validate_program(pb.program)
+    assert any("unknown superclass" in e for e in report.errors)
+
+
+def test_all_figure_apps_validate(
+    quickstart_apk, newsreader_apk, receiver_apk, opensudoku_apk
+):
+    for apk in (quickstart_apk, newsreader_apk, receiver_apk, opensudoku_apk):
+        assert apk.validate().ok

@@ -1,0 +1,131 @@
+"""The constraint language and its decision procedure."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.instructions import CmpOp
+from repro.symbolic.constraints import ConstraintSet, NOT_NULL, TRIVIAL
+
+
+class TestRequire:
+    def test_eq_then_conflicting_eq(self):
+        c = TRIVIAL.require(CmpOp.EQ, 3)
+        assert c is not None
+        assert c.require(CmpOp.EQ, 4) is None
+        assert c.require(CmpOp.EQ, 3) is not None
+
+    def test_eq_then_ne_conflict(self):
+        c = TRIVIAL.require(CmpOp.EQ, True)
+        assert c.require(CmpOp.NE, True) is None
+
+    def test_ne_then_eq_conflict(self):
+        c = TRIVIAL.require(CmpOp.NE, None)
+        assert c.require(CmpOp.EQ, None) is None
+        assert c.require(CmpOp.EQ, 5) is not None
+
+    def test_bounds_conjunction(self):
+        c = TRIVIAL.require(CmpOp.GE, 2).require(CmpOp.LE, 5)
+        assert c is not None
+        assert c.require(CmpOp.GT, 5) is None
+        assert c.require(CmpOp.LT, 2) is None
+        assert c.require(CmpOp.EQ, 3) is not None
+        assert c.require(CmpOp.EQ, 9) is None
+
+    def test_eq_respects_existing_bounds(self):
+        c = TRIVIAL.require(CmpOp.LT, 3)
+        assert c.require(CmpOp.EQ, 5) is None
+        assert c.require(CmpOp.EQ, 2) is not None
+
+    def test_ordered_comparison_on_non_int_no_refinement(self):
+        c = TRIVIAL.require(CmpOp.LT, "str")
+        assert c is TRIVIAL
+
+    def test_bool_and_int_kept_apart(self):
+        c = TRIVIAL.require(CmpOp.EQ, True)
+        # Java would not alias boolean true with int 1
+        assert c.require(CmpOp.EQ, 1) is None
+
+
+class TestNotNull:
+    def test_new_object_satisfies_not_null(self):
+        c = TRIVIAL.require(CmpOp.NE, None)
+        assert c.satisfied_by(NOT_NULL)
+
+    def test_new_object_conflicts_with_null_requirement(self):
+        c = TRIVIAL.require(CmpOp.EQ, None)
+        assert not c.satisfied_by(NOT_NULL)
+
+    def test_two_not_nulls_maybe_equal(self):
+        c = TRIVIAL.require(CmpOp.EQ, NOT_NULL)
+        assert c.satisfied_by(NOT_NULL)  # unknown ⇒ satisfiable
+
+
+class TestSatisfiedBy:
+    def test_exact_value(self):
+        c = TRIVIAL.require(CmpOp.EQ, 3)
+        assert c.satisfied_by(3)
+        assert not c.satisfied_by(4)
+
+    def test_trivial_satisfied_by_anything(self):
+        for v in (0, None, True, "x", NOT_NULL):
+            assert TRIVIAL.satisfied_by(v)
+
+    def test_bounds(self):
+        c = TRIVIAL.require(CmpOp.GE, 0)
+        assert c.satisfied_by(0)
+        assert not c.satisfied_by(-1)
+        assert c.satisfied_by(None)  # non-int: bounds don't apply
+
+
+class TestMerge:
+    def test_merge_compatible(self):
+        a = TRIVIAL.require(CmpOp.GE, 0)
+        b = TRIVIAL.require(CmpOp.LE, 10)
+        merged = a.merge(b)
+        assert merged is not None
+        assert merged.lo == 0 and merged.hi == 10
+
+    def test_merge_conflicting(self):
+        a = TRIVIAL.require(CmpOp.EQ, 1)
+        b = TRIVIAL.require(CmpOp.EQ, 2)
+        assert a.merge(b) is None
+
+    def test_merge_with_trivial_is_identity(self):
+        a = TRIVIAL.require(CmpOp.EQ, 1)
+        assert a.merge(TRIVIAL) == a
+
+    @given(st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+    def test_merge_soundness(self, v, lo, hi):
+        """A value satisfying the merge satisfies both conjuncts."""
+        a = TRIVIAL.require(CmpOp.GE, lo)
+        b = TRIVIAL.require(CmpOp.LE, hi)
+        merged = a.merge(b)
+        if merged is None:
+            assert lo > hi
+        else:
+            assert merged.satisfied_by(v) == (a.satisfied_by(v) and b.satisfied_by(v))
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(list(CmpOp)), st.integers(-5, 5)), max_size=6
+        ),
+        st.integers(-5, 5),
+    )
+    def test_require_chain_soundness(self, ops, probe):
+        """If every individual requirement holds of `probe`, the accumulated
+        constraint must not reject it (no false conflicts)."""
+        c = TRIVIAL
+        for op, val in ops:
+            if not op.evaluate(probe, val):
+                return  # probe doesn't model this chain
+            c = c.require(op, val)
+            assert c is not None, f"falsely refuted {ops} for {probe}"
+        assert c.satisfied_by(probe)
+
+
+class TestRepr:
+    def test_trivial_repr(self):
+        assert repr(TRIVIAL) == "{*}"
+
+    def test_nontrivial_repr_mentions_parts(self):
+        c = TRIVIAL.require(CmpOp.EQ, 3)
+        assert "3" in repr(c)

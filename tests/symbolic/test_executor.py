@@ -1,0 +1,163 @@
+"""Backward symbolic execution on hand-built methods."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph, MethodContext
+from repro.analysis.icfg import ActionICFG
+from repro.analysis.pointsto import Entry, analyze
+from repro.android.framework import install_framework
+from repro.core.accesses import Location
+from repro.ir.builder import ProgramBuilder
+from repro.symbolic.executor import BackwardExecutor
+from repro.symbolic.state import SymState
+
+
+def build_guarded(emit_extra=None):
+    """this.flag guards a write to this.cell (the Figure 8 reader side)."""
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    cls = pb.new_class("t.A", superclass="android.app.Activity")
+    cls.field("flag", __import__("repro").ir.BOOL)
+    cls.field("cell", __import__("repro").ir.INT)
+    mb = cls.method("reader")
+    mb.load("f", "this", "flag")
+    mb.if_false("f", "end")
+    access = mb.store("this", "cell", 1)
+    mb.label("end").ret()
+    other = cls.method("writer")
+    other.load("g", "this", "flag")
+    other.if_false("g", "done")
+    other.const("ff", False)
+    other.store("this", "flag", "ff")
+    w_access = other.store("this", "cell", 2)
+    other.label("done").ret()
+    harness = pb.new_class("t.H").method("main", is_static=True)
+    harness.new("a", "t.A")
+    harness.call("a", "reader")
+    harness.call("a", "writer")
+    harness.ret()
+    result = analyze(pb.program, [Entry(harness.method)])
+    return pb.program, result, mb.method, other.method, access, w_access
+
+
+def single_method_icfg(result, method):
+    mcs = [mc for mc in result.call_graph.nodes if mc.method is method]
+    return ActionICFG(result.call_graph, mcs), mcs
+
+
+class TestCollection:
+    def test_guard_constraint_collected_at_entry(self):
+        program, result, reader, writer, access, _ = build_guarded()
+        icfg, mcs = single_method_icfg(result, reader)
+        ex = BackwardExecutor(icfg, result)
+        start = icfg.sites_of_instruction(access)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        outcome = ex.search(start, entries)
+        assert outcome.feasible
+        # the surviving state must constrain (activity).flag == True
+        found = False
+        for state in outcome.final_states:
+            for loc, c in state.locs.items():
+                if loc.field == "flag":
+                    assert c.satisfied_by(True) and not c.satisfied_by(False)
+                    found = True
+        assert found
+
+    def test_unguarded_access_unconstrained(self):
+        program, result, reader, writer, access, _ = build_guarded()
+        icfg, mcs = single_method_icfg(result, reader)
+        ex = BackwardExecutor(icfg, result)
+        # start from the entry itself: trivially feasible, no constraints
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        outcome = ex.search(list(entries), entries)
+        assert outcome.feasible
+        assert all(not s.locs for s in outcome.final_states)
+
+
+class TestRefutationCore:
+    def test_strong_update_kills_conflicting_path(self):
+        """Walking the writer backward from its exit, requiring flag==True at
+        its entry boundary AND passing the guarded write: the strong update
+        flag=false contradicts — no feasible path (Figure 8's core step)."""
+        program, result, reader, writer, access, w_access = build_guarded()
+        icfg, mcs = single_method_icfg(result, writer)
+        ex = BackwardExecutor(icfg, result)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        exits = []
+        for mc in mcs:
+            exits.extend(icfg.exit_nodes(mc))
+
+        # carry the reader-side constraint: flag == True at reader entry
+        from repro.ir.instructions import CmpOp
+        from repro.symbolic.constraints import TRIVIAL
+
+        initial = SymState()
+        flag_locs = [
+            Location(obj, "flag")
+            for mc in mcs
+            for obj in result.var(mc, "this")
+        ]
+        assert flag_locs
+        for loc in flag_locs:
+            initial.merge_loc(loc, TRIVIAL.require(CmpOp.EQ, True))
+
+        must = set(icfg.sites_of_instruction(w_access))
+        outcome = ex.search(exits, entries, initial=initial, must_pass=must, stop_at_first=True)
+        assert not outcome.feasible
+
+    def test_without_constraint_writer_path_feasible(self):
+        program, result, reader, writer, access, w_access = build_guarded()
+        icfg, mcs = single_method_icfg(result, writer)
+        ex = BackwardExecutor(icfg, result)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        exits = [n for mc in mcs for n in icfg.exit_nodes(mc)]
+        must = set(icfg.sites_of_instruction(w_access))
+        outcome = ex.search(exits, entries, must_pass=must, stop_at_first=True)
+        assert outcome.feasible
+
+    def test_must_pass_excludes_skipping_paths(self):
+        """Without must_pass the flag==True initial state can exit through
+        the not-running path; with must_pass it cannot."""
+        program, result, reader, writer, access, w_access = build_guarded()
+        icfg, mcs = single_method_icfg(result, writer)
+        ex = BackwardExecutor(icfg, result)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        exits = [n for mc in mcs for n in icfg.exit_nodes(mc)]
+        outcome = ex.search(exits, entries, stop_at_first=True)
+        assert outcome.feasible  # skip path exists without must_pass
+
+
+class TestBudget:
+    def test_budget_exceeded_reported(self):
+        pb = ProgramBuilder()
+        install_framework(pb.program)
+        cls = pb.new_class("t.C")
+        mb = cls.method("m")
+        # a dense diamond chain to blow a tiny budget
+        for i in range(10):
+            mb.const(f"c{i}", True)
+            mb.if_true(f"c{i}", f"l{i}")
+            mb.nop()
+            mb.label(f"l{i}").nop()
+        access = mb.store("this", "x", 1)
+        mb.ret()
+        harness = pb.new_class("t.H").method("main", is_static=True)
+        harness.new("o", "t.C")
+        harness.call("o", "m")
+        harness.ret()
+        result = analyze(pb.program, [Entry(harness.method)])
+        icfg, mcs = single_method_icfg(result, mb.method)
+        ex = BackwardExecutor(icfg, result, path_budget=5)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        outcome = ex.search(icfg.sites_of_instruction(access), entries)
+        assert outcome.budget_exceeded
+
+    def test_refuted_node_cache_prunes(self):
+        program, result, reader, writer, access, w_access = build_guarded()
+        icfg, mcs = single_method_icfg(result, reader)
+        cache = set(icfg.sites_of_instruction(access))
+        ex = BackwardExecutor(icfg, result, refuted_node_cache=cache)
+        entries = {icfg.entry_node(mc) for mc in mcs}
+        outcome = ex.search(icfg.sites_of_instruction(access), entries)
+        assert outcome.cache_hits > 0
+        assert not outcome.feasible

@@ -1,0 +1,101 @@
+"""Symbolic state: register frames, locations, fact consistency."""
+
+from repro.analysis.callgraph import MethodContext
+from repro.core.accesses import Location
+from repro.ir.instructions import CmpOp
+from repro.ir.program import Method
+from repro.symbolic.constraints import TRIVIAL
+from repro.symbolic.state import SymState
+
+
+def mc(name="m"):
+    return MethodContext(Method("t.C", name))
+
+
+class TestRegisters:
+    def test_require_and_read_back(self):
+        s = SymState()
+        frame = mc()
+        assert s.require_reg(frame, "x", CmpOp.EQ, 3)
+        assert s.reg(frame, "x").satisfied_by(3)
+        assert not s.reg(frame, "x").satisfied_by(4)
+
+    def test_conflict_returns_false(self):
+        s = SymState()
+        frame = mc()
+        assert s.require_reg(frame, "x", CmpOp.EQ, 3)
+        assert not s.require_reg(frame, "x", CmpOp.EQ, 4)
+
+    def test_pop_removes(self):
+        s = SymState()
+        frame = mc()
+        s.require_reg(frame, "x", CmpOp.EQ, 1)
+        popped = s.pop_reg(frame, "x")
+        assert not popped.is_trivial()
+        assert s.reg(frame, "x").is_trivial()
+        assert s.pop_reg(frame, "x").is_trivial()
+
+    def test_frames_are_independent(self):
+        s = SymState()
+        f1, f2 = mc("a"), mc("b")
+        s.require_reg(f1, "x", CmpOp.EQ, 1)
+        assert s.reg(f2, "x").is_trivial()
+
+    def test_drop_frame(self):
+        s = SymState()
+        f1, f2 = mc("a"), mc("b")
+        s.require_reg(f1, "x", CmpOp.EQ, 1)
+        s.require_reg(f2, "x", CmpOp.EQ, 2)
+        s.drop_frame(f1)
+        assert s.reg(f1, "x").is_trivial()
+        assert not s.reg(f2, "x").is_trivial()
+
+    def test_merge_reg_conflict(self):
+        s = SymState()
+        frame = mc()
+        s.require_reg(frame, "x", CmpOp.EQ, 1)
+        conflicting = TRIVIAL.require(CmpOp.EQ, 2)
+        assert not s.merge_reg(frame, "x", conflicting)
+
+
+class TestLocations:
+    def test_merge_and_pop(self):
+        s = SymState()
+        loc = Location("t.C", "flag")
+        assert s.merge_loc(loc, TRIVIAL.require(CmpOp.EQ, True))
+        assert not s.loc(loc).is_trivial()
+        s.pop_loc(loc)
+        assert s.loc(loc).is_trivial()
+
+    def test_merge_conflict(self):
+        s = SymState()
+        loc = Location("t.C", "flag")
+        s.merge_loc(loc, TRIVIAL.require(CmpOp.EQ, True))
+        assert not s.merge_loc(loc, TRIVIAL.require(CmpOp.EQ, False))
+
+
+class TestCloneAndFacts:
+    def test_clone_is_independent(self):
+        s = SymState()
+        frame = mc()
+        s.require_reg(frame, "x", CmpOp.EQ, 1)
+        c = s.clone()
+        c.pop_reg(frame, "x")
+        assert not s.reg(frame, "x").is_trivial()
+
+    def test_facts_consistency(self):
+        s = SymState()
+        loc = Location("t.C", "what")
+        s.merge_loc(loc, TRIVIAL.require(CmpOp.EQ, 3))
+        assert s.consistent_with_facts({loc: 3})
+        assert not s.consistent_with_facts({loc: 4})
+        assert s.consistent_with_facts({Location("t.C", "other"): 9})
+
+    def test_canonical_digest_stable(self):
+        s = SymState()
+        frame = mc()
+        s.require_reg(frame, "x", CmpOp.EQ, 1)
+        t = s.clone()
+        assert s.canonical() == t.canonical()
+        t.require_reg(frame, "y", CmpOp.NE, None)
+        assert s.canonical() != t.canonical()

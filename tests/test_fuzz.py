@@ -1,0 +1,153 @@
+"""Fuzzing: randomly generated IR methods must never crash the stack.
+
+Random (but label/register-closed) method bodies are run through the
+validator, the pointer analysis, the full detector pipeline, and the
+concrete interpreter. No assertion about *what* they compute — only that
+every layer is total on arbitrary well-formed input.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.android import Apk, Manifest, install_framework
+from repro.core import Sierra, SierraOptions
+from repro.dynamic.scheduler import ExecutionDriver
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import BinOp, CmpOp
+from repro.ir.validate import validate_program
+
+REGISTERS = ["r0", "r1", "r2", "r3"]
+FIELDS = ["f0", "f1"]
+LABELS = ["L0", "L1", "L2"]
+
+
+@st.composite
+def instruction_ops(draw):
+    """A recipe list the emitter below turns into a closed method body."""
+    n = draw(st.integers(1, 14))
+    ops = []
+    for _ in range(n):
+        ops.append(
+            draw(
+                st.sampled_from(
+                    ["const", "move", "new", "load", "store", "binop", "cmp",
+                     "if", "goto", "label", "sload", "sstore", "aload",
+                     "astore", "call_view", "post"]
+                )
+            )
+        )
+    return ops
+
+
+def emit_method(mb, ops, rng_ints):
+    """Turn the op recipe into a valid body: all registers pre-defined, all
+    labels emitted, branches only target declared labels."""
+    for reg in REGISTERS:
+        mb.const(reg, 0)
+    mb.new("obj", "t.Holder")
+    mb.new("h", "android.os.Handler")
+    mb.new("runner", "t.Run")
+    used_labels = set()
+    import itertools
+
+    it = itertools.cycle(rng_ints or [0])
+
+    def nxt(limit):
+        return next(it) % limit
+
+    for op in ops:
+        a, b = REGISTERS[nxt(4)], REGISTERS[nxt(4)]
+        field = FIELDS[nxt(2)]
+        label = LABELS[nxt(3)]
+        if op == "const":
+            mb.const(a, nxt(10) - 5)
+        elif op == "move":
+            mb.move(a, b)
+        elif op == "new":
+            mb.new(a, "t.Holder")
+        elif op == "load":
+            mb.load(a, "obj", field)
+        elif op == "store":
+            mb.store("obj", field, b)
+        elif op == "binop":
+            mb.binop(a, b, list(BinOp)[nxt(len(BinOp))], nxt(5))
+        elif op == "cmp":
+            mb.cmp(a, b, list(CmpOp)[nxt(len(CmpOp))], nxt(5))
+        elif op == "if":
+            mb.if_(a, list(CmpOp)[nxt(len(CmpOp))], nxt(3), label)
+            used_labels.add(label)
+        elif op == "goto":
+            mb.goto(label)
+            used_labels.add(label)
+        elif op == "label" and label not in used_labels:
+            pass  # emitted at the end for closure
+        elif op == "sload":
+            mb.sload(a, "t.A", "g0")
+        elif op == "sstore":
+            mb.sstore("t.A", "g0", b)
+        elif op == "aload":
+            mb.aload(a, "obj", nxt(3))
+        elif op == "astore":
+            mb.astore("obj", nxt(3), b)
+        elif op == "call_view":
+            mb.call("this", "findViewById", nxt(3), dst=a)
+        elif op == "post":
+            mb.call("h", "post", "runner")
+    # close every referenced label at the tail (forward jumps land here)
+    for label in LABELS:
+        mb.label(label).nop()
+    mb.ret()
+
+
+def build_fuzz_apk(ops1, ops2, rng_ints):
+    pb = ProgramBuilder()
+    install_framework(pb.program)
+    holder = pb.new_class("t.Holder")
+    for f in FIELDS:
+        holder.field(f, "java.lang.Object")
+    runner = pb.new_class("t.Run", interfaces=("java.lang.Runnable",))
+    run = runner.method("run")
+    run.ret()
+    act = pb.new_class("t.A", superclass="android.app.Activity")
+    act.field("g0", "java.lang.Object", is_static=True)
+    act.cls.add_field("g0", __import__("repro").ir.OBJECT, is_static=True)
+    emit_method(act.method("onCreate"), ops1, rng_ints)
+    emit_method(act.method("onHandler"), ops2, rng_ints[::-1] or [0])
+    apk = Apk("fuzz", pb.build(), Manifest("t"))
+    apk.manifest.add_activity("t.A", layout="m", is_main=True)
+    layout = apk.layouts.new_layout("m")
+    layout.add_view(1, "android.widget.Button", static_callbacks=(("onClick", "onHandler"),))
+    return apk
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@FUZZ_SETTINGS
+@given(
+    instruction_ops(),
+    instruction_ops(),
+    st.lists(st.integers(0, 1000), min_size=40, max_size=40),
+)
+def test_pipeline_total_on_random_programs(ops1, ops2, rng_ints):
+    apk = build_fuzz_apk(ops1, ops2, rng_ints)
+    report = validate_program(apk.program)
+    assert report.ok, report.errors  # the emitter must produce valid IR
+    result = Sierra(SierraOptions()).analyze(apk)
+    assert result.report.races_after_refutation <= result.report.racy_pairs
+
+
+@FUZZ_SETTINGS
+@given(
+    instruction_ops(),
+    instruction_ops(),
+    st.lists(st.integers(0, 1000), min_size=40, max_size=40),
+    st.integers(0, 3),
+)
+def test_interpreter_total_on_random_programs(ops1, ops2, rng_ints, seed):
+    apk = build_fuzz_apk(ops1, ops2, rng_ints)
+    trace = ExecutionDriver(apk, seed=seed, max_events=25).run()
+    assert len(trace.events) <= 25
