@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Perf regression gate: re-bench the corpus and compare to the recording.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # gate (CI)
+    PYTHONPATH=src python benchmarks/run_bench.py --update   # refresh baseline
+
+The gate re-runs the pipeline benches (skipping the slower naive-baseline
+speedup measurement so the whole run stays under a minute), then fails with
+exit code 1 if any stage of any app regressed more than 2x against the
+committed ``BENCH_pipeline.json``. ``--update`` instead re-runs the full
+suite — substrate speedups included — and rewrites the baseline in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import compare_to_baseline, run_bench  # noqa: E402
+
+BASELINE = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline instead of gating")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help="baseline file (default: repo BENCH_pipeline.json)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed slowdown factor per stage (default 2.0)")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    if args.update:
+        run_bench(out_path=str(args.baseline))
+        print(f"baseline updated: {args.baseline} "
+              f"({time.perf_counter() - started:.1f}s)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    baseline = json.loads(args.baseline.read_text())
+    current = run_bench(speedup_app=None, out_path=None)
+    elapsed = time.perf_counter() - started
+
+    violations = compare_to_baseline(current, baseline, threshold=args.threshold)
+    for app, record in current["apps"].items():
+        stages = record["stages"]
+        print(f"{app:18s} cg_pa={stages['cg_pa']:.3f}s "
+              f"hbg={stages['hbg']:.3f}s refutation={stages['refutation']:.3f}s")
+    if violations:
+        print(f"\nPERF REGRESSION ({elapsed:.1f}s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"\nok: no stage regressed more than {args.threshold}x "
+          f"({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ reachability, and HB rule 5's ICFG domination test.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -22,6 +23,15 @@ class MethodContext:
 
     method: Method
     context: Context = EMPTY_CONTEXT
+
+    def __post_init__(self) -> None:
+        # Node keys are hashed millions of times while the worklist drains;
+        # the generated dataclass hash would re-hash the whole context string
+        # on every dict probe. Compute once (instances are frozen).
+        object.__setattr__(self, "_hash", hash((self.method, self.context)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def signature(self) -> str:
@@ -152,11 +162,11 @@ class CallGraph:
         """
         stop = stop or set()
         seen: Dict[MethodContext, None] = {}
-        worklist = list(roots)
+        worklist = deque(roots)
         for root in roots:
             seen[root] = None
         while worklist:
-            node = worklist.pop(0)
+            node = worklist.popleft()
             for edge in self._out.get(node, ()):
                 if synchronous_only and not edge.is_synchronous:
                     continue

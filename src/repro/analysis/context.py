@@ -67,6 +67,14 @@ class Context:
     def action_id(self) -> Optional[int]:
         return self.action.action_id if self.action else None
 
+    def __post_init__(self) -> None:
+        # Contexts key every points-to and call-graph dict; the generated
+        # hash re-walks the element string each probe. Compute once (frozen).
+        object.__setattr__(self, "_hash", hash((self.action, self.elements)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __repr__(self) -> str:
         parts = ([repr(self.action)] if self.action else []) + [repr(e) for e in self.elements]
         return "[" + ",".join(parts) + "]"
@@ -86,6 +94,16 @@ class AbstractObject:
     class_name: str
     alloc: AllocSiteElement
     heap_context: Context = EMPTY_CONTEXT
+
+    def __post_init__(self) -> None:
+        # Heap objects live in points-to sets that are unioned and probed
+        # constantly; compute the deep hash once (frozen).
+        object.__setattr__(
+            self, "_hash", hash((self.class_name, self.alloc, self.heap_context))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"obj({self.class_name}@{self.alloc.method}:{self.alloc.site}){self.heap_context!r}"

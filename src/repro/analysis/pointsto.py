@@ -23,6 +23,7 @@ signature:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -167,6 +168,9 @@ class PointsToResult:
         self.selector = analysis.selector
         self.program = analysis.program
         self.index_sensitive_arrays = analysis.index_sensitive_arrays
+        # solver effort counters (consumed by repro.perf)
+        self.passes_run = analysis.passes_run
+        self.worklist_iterations = analysis.worklist_iterations
 
     def var(self, mc: MethodContext, name: str) -> FrozenSet[PointsToObject]:
         return frozenset(self._var_pts.get((mc, name), ()))
@@ -189,8 +193,25 @@ class PointsToResult:
         return len(self._var_pts)
 
 
+#: shared empty result for reads of never-written keys — callers never mutate
+_EMPTY: FrozenSet[PointsToObject] = frozenset()
+
+
 class PointerAnalysis:
-    """Run with :meth:`solve`; inspect through :class:`PointsToResult`."""
+    """Run with :meth:`solve`; inspect through :class:`PointsToResult`.
+
+    Two fixpoint drivers share all transfer functions:
+
+    * ``solver="worklist"`` (default) — delta-worklist propagation. While a
+      method-context is interpreted, every points-to key it reads is
+      registered in an inverted dependency index (key → dependent
+      method-contexts). When a key's set grows, exactly the registered
+      dependents are re-queued; nothing else is ever re-interpreted.
+    * ``solver="passes"`` — the original whole-program iteration
+      (re-interpret every reachable method until no pass changes anything),
+      kept as the perf baseline for ``repro.perf`` and for differential
+      testing. Both drivers reach the same (unique) least fixpoint.
+    """
 
     #: hard cap on fixpoint passes — a safety net, never hit in practice
     MAX_PASSES = 200
@@ -204,19 +225,33 @@ class PointerAnalysis:
         dispatch_table: Optional[Dict[str, EventDispatch]] = None,
         action_resolver=None,
         index_sensitive_arrays: bool = False,
+        solver: str = "worklist",
     ) -> None:
+        if solver not in ("worklist", "passes"):
+            raise ValueError(f"unknown solver {solver!r}")
         self.program = program
         self.selector = selector if selector is not None else InsensitiveSelector()
         self.layouts = layouts if layouts is not None else LayoutRegistry()
         self.dispatch_table = dispatch_table or {}
         self.action_resolver = action_resolver
         self.index_sensitive_arrays = index_sensitive_arrays
+        self.solver = solver
         self.call_graph = CallGraph()
         self._var_pts: Dict[VarKey, Set[PointsToObject]] = {}
         self._field_pts: Dict[FieldKey, Set[PointsToObject]] = {}
         self._static_pts: Dict[StaticKey, Set[PointsToObject]] = {}
         self._reachable: Dict[MethodContext, None] = {}
         self.passes_run = 0
+        self.worklist_iterations = 0
+        # inverted constraint index: points-to key -> work units whose
+        # interpretation read it (insertion-ordered for determinism). A work
+        # unit is (method-context, instruction index); (mc, None) means the
+        # whole body (the first visit of a newly reachable context).
+        self._deps: Dict[tuple, Dict[tuple, None]] = {}
+        self._current: Optional[tuple] = None
+        self._track_deps = solver == "worklist"
+        self._queue: deque = deque()
+        self._queued: Set[tuple] = set()
         for entry in entries:
             ctx = self.selector.entry_context(entry.action_id)
             mc = MethodContext(entry.method, ctx)
@@ -224,35 +259,78 @@ class PointerAnalysis:
             self._reachable.setdefault(mc, None)
 
     # ------------------------------------------------------------------
-    # set plumbing
+    # set plumbing: reads register dependencies, writes wake dependents
     # ------------------------------------------------------------------
+    def _note(self, key: tuple) -> None:
+        if self._track_deps and self._current is not None:
+            self._deps.setdefault(key, {})[self._current] = None
+
+    def _touch(self, key: tuple) -> None:
+        if not self._track_deps:
+            return
+        deps = self._deps.get(key)
+        if deps:
+            for unit in deps:
+                self._enqueue(unit)
+
+    def _enqueue(self, unit: tuple) -> None:
+        if unit not in self._queued:
+            self._queued.add(unit)
+            self._queue.append(unit)
+
+    def _read_var(self, key: VarKey) -> Set[PointsToObject]:
+        self._note(("v", key))
+        return self._var_pts.get(key, _EMPTY)
+
+    def _read_field(self, key: FieldKey) -> Set[PointsToObject]:
+        self._note(("f", key))
+        return self._field_pts.get(key, _EMPTY)
+
+    def _read_static(self, key: StaticKey) -> Set[PointsToObject]:
+        self._note(("s", key))
+        return self._static_pts.get(key, _EMPTY)
+
     def _add_var(self, key: VarKey, objs: Iterable[PointsToObject]) -> bool:
         target = self._var_pts.setdefault(key, set())
         before = len(target)
         target.update(objs)
-        return len(target) != before
+        if len(target) != before:
+            self._touch(("v", key))
+            return True
+        return False
 
     def _add_field(self, key: FieldKey, objs: Iterable[PointsToObject]) -> bool:
         target = self._field_pts.setdefault(key, set())
         before = len(target)
         target.update(objs)
-        return len(target) != before
+        if len(target) != before:
+            self._touch(("f", key))
+            return True
+        return False
 
     def _add_static(self, key: StaticKey, objs: Iterable[PointsToObject]) -> bool:
         target = self._static_pts.setdefault(key, set())
         before = len(target)
         target.update(objs)
-        return len(target) != before
+        if len(target) != before:
+            self._touch(("s", key))
+            return True
+        return False
 
     def _pts(self, mc: MethodContext, operand: Operand) -> Set[PointsToObject]:
         if isinstance(operand, Var):
-            return self._var_pts.get((mc, operand.name), set())
-        return set()  # constants (incl. null) carry no objects
+            return self._read_var((mc, operand.name))
+        return _EMPTY  # constants (incl. null) carry no objects
 
     # ------------------------------------------------------------------
-    # fixpoint driver
+    # fixpoint drivers
     # ------------------------------------------------------------------
     def solve(self) -> PointsToResult:
+        if self.solver == "passes":
+            return self._solve_passes()
+        return self._solve_worklist()
+
+    def _solve_passes(self) -> PointsToResult:
         changed = True
         while changed and self.passes_run < self.MAX_PASSES:
             changed = False
@@ -262,74 +340,108 @@ class PointerAnalysis:
                     changed = True
         return PointsToResult(self)
 
+    def _solve_worklist(self) -> PointsToResult:
+        for mc in self._reachable:
+            self._enqueue((mc, None))
+        queue = self._queue
+        while queue:
+            unit = queue.popleft()
+            self._queued.discard(unit)
+            self.worklist_iterations += 1
+            mc, index = unit
+            try:
+                if index is None:
+                    self._process_method(mc)
+                else:
+                    self._current = unit
+                    self._process_instruction(mc, index, mc.method.body[index])
+            finally:
+                self._current = None
+        return PointsToResult(self)
+
     def _process_method(self, mc: MethodContext) -> bool:
         changed = False
+        track = self._track_deps
         for index, instr in enumerate(mc.method.body):
+            if track:
+                self._current = (mc, index)
             if self._process_instruction(mc, index, instr):
                 changed = True
         return changed
 
     def _process_instruction(self, mc: MethodContext, index: int, instr) -> bool:
-        if isinstance(instr, New):
-            site = AllocSiteElement(mc.method.signature, index)
-            heap_ctx = self.selector.heap_context(mc.context, site)
-            obj = AbstractObject(instr.class_name, site, heap_ctx)
-            return self._add_var((mc, instr.dst.name), {obj})
-        if isinstance(instr, Assign):
-            return self._add_var((mc, instr.dst.name), self._pts(mc, instr.src))
-        if isinstance(instr, FieldLoad):
-            changed = False
-            for obj in list(self._pts(mc, instr.obj)):
-                changed |= self._add_var(
-                    (mc, instr.dst.name), self._field_pts.get((obj, instr.field_name), set())
-                )
-            return changed
-        if isinstance(instr, FieldStore):
-            changed = False
-            src = self._pts(mc, instr.src)
-            if src:
-                for obj in list(self._pts(mc, instr.obj)):
-                    changed |= self._add_field((obj, instr.field_name), src)
-            return changed
-        if isinstance(instr, StaticLoad):
-            return self._add_var(
-                (mc, instr.dst.name),
-                self._static_pts.get((instr.class_name, instr.field_name), set()),
+        handler = _TRANSFER.get(type(instr))
+        if handler is None:
+            return False
+        return handler(self, mc, index, instr)
+
+    # Transfer functions, one per instruction type, dispatched by exact type
+    # through _TRANSFER (the isinstance chain was the analysis' hottest loop).
+    def _do_new(self, mc: MethodContext, index: int, instr: New) -> bool:
+        site = AllocSiteElement(mc.method.signature, index)
+        heap_ctx = self.selector.heap_context(mc.context, site)
+        obj = AbstractObject(instr.class_name, site, heap_ctx)
+        return self._add_var((mc, instr.dst.name), {obj})
+
+    def _do_assign(self, mc: MethodContext, index: int, instr: Assign) -> bool:
+        return self._add_var((mc, instr.dst.name), self._pts(mc, instr.src))
+
+    def _do_field_load(self, mc: MethodContext, index: int, instr: FieldLoad) -> bool:
+        changed = False
+        for obj in list(self._pts(mc, instr.obj)):
+            changed |= self._add_var(
+                (mc, instr.dst.name), self._read_field((obj, instr.field_name))
             )
-        if isinstance(instr, StaticStore):
-            src = self._pts(mc, instr.src)
-            if src:
-                return self._add_static((instr.class_name, instr.field_name), src)
-            return False
-        if isinstance(instr, ArrayLoad):
-            changed = False
-            cell = array_field_name(instr.index, self.index_sensitive_arrays)
-            for obj in list(self._pts(mc, instr.arr)):
+        return changed
+
+    def _do_field_store(self, mc: MethodContext, index: int, instr: FieldStore) -> bool:
+        changed = False
+        src = self._pts(mc, instr.src)
+        if src:
+            for obj in list(self._pts(mc, instr.obj)):
+                changed |= self._add_field((obj, instr.field_name), src)
+        return changed
+
+    def _do_static_load(self, mc: MethodContext, index: int, instr: StaticLoad) -> bool:
+        return self._add_var(
+            (mc, instr.dst.name),
+            self._read_static((instr.class_name, instr.field_name)),
+        )
+
+    def _do_static_store(self, mc: MethodContext, index: int, instr: StaticStore) -> bool:
+        src = self._pts(mc, instr.src)
+        if src:
+            return self._add_static((instr.class_name, instr.field_name), src)
+        return False
+
+    def _do_array_load(self, mc: MethodContext, index: int, instr: ArrayLoad) -> bool:
+        changed = False
+        cell = array_field_name(instr.index, self.index_sensitive_arrays)
+        for obj in list(self._pts(mc, instr.arr)):
+            changed |= self._add_var(
+                (mc, instr.dst.name), self._read_field((obj, cell))
+            )
+            if cell != ARRAY_FIELD:
+                # variable-index stores land in the summary cell; a
+                # constant-index load must also see them (soundness)
                 changed |= self._add_var(
-                    (mc, instr.dst.name), self._field_pts.get((obj, cell), set())
+                    (mc, instr.dst.name),
+                    self._read_field((obj, ARRAY_FIELD)),
                 )
-                if cell != ARRAY_FIELD:
-                    # variable-index stores land in the summary cell; a
-                    # constant-index load must also see them (soundness)
-                    changed |= self._add_var(
-                        (mc, instr.dst.name),
-                        self._field_pts.get((obj, ARRAY_FIELD), set()),
-                    )
-            return changed
-        if isinstance(instr, ArrayStore):
-            changed = False
-            cell = array_field_name(instr.index, self.index_sensitive_arrays)
-            src = self._pts(mc, instr.src)
-            if src:
-                for obj in list(self._pts(mc, instr.arr)):
-                    changed |= self._add_field((obj, cell), src)
-            return changed
-        if isinstance(instr, Return):
-            if instr.value is not None:
-                return self._add_var((mc, RETURN_VAR), self._pts(mc, instr.value))
-            return False
-        if isinstance(instr, Invoke):
-            return self._process_invoke(mc, index, instr)
+        return changed
+
+    def _do_array_store(self, mc: MethodContext, index: int, instr: ArrayStore) -> bool:
+        changed = False
+        cell = array_field_name(instr.index, self.index_sensitive_arrays)
+        src = self._pts(mc, instr.src)
+        if src:
+            for obj in list(self._pts(mc, instr.arr)):
+                changed |= self._add_field((obj, cell), src)
+        return changed
+
+    def _do_return(self, mc: MethodContext, index: int, instr: Return) -> bool:
+        if instr.value is not None:
+            return self._add_var((mc, RETURN_VAR), self._pts(mc, instr.value))
         return False
 
     # ------------------------------------------------------------------
@@ -405,6 +517,10 @@ class PointerAnalysis:
         if callee_mc not in self._reachable:
             self._reachable[callee_mc] = None
             changed = True
+            if self._track_deps:
+                self._enqueue((callee_mc, None))
+                # wake event-marker sites waiting on contexts of this method
+                self._touch(("reach", id(callee_mc.method)))
         if receiver_obj is not None and not callee_mc.method.is_static:
             changed |= self._add_var((callee_mc, "this"), {receiver_obj})
         bind_args = instr.args if args is None else args
@@ -413,7 +529,7 @@ class PointerAnalysis:
             if objs:
                 changed |= self._add_var((callee_mc, param[0]), objs)
         if via == "call" and instr.dst is not None:
-            ret = self._var_pts.get((callee_mc, RETURN_VAR), set())
+            ret = self._read_var((callee_mc, RETURN_VAR))
             if ret:
                 changed |= self._add_var((mc, instr.dst.name), ret)
         return changed
@@ -433,10 +549,13 @@ class PointerAnalysis:
         )
         if not isinstance(arg, Var):
             return False
+        # re-run this marker when a new context of the registration method
+        # becomes reachable (the loop below only sees current contexts)
+        self._note(("reach", id(dispatch.reg_method)))
         for reg_mc in list(self._reachable):
             if reg_mc.method is not dispatch.reg_method:
                 continue
-            listeners = list(self._var_pts.get((reg_mc, arg.name), ()))
+            listeners = list(self._read_var((reg_mc, arg.name)))
             receivers = (
                 list(self._pts(reg_mc, dispatch.reg_site.receiver))
                 if dispatch.reg_site.receiver is not None
@@ -495,7 +614,7 @@ class PointerAnalysis:
                         mc, instr, callee_mc, receiver_obj=obj, via="thread", args=()
                     )
                 # Thread(target) construction: run() of the target runnable
-                for target in list(self._field_pts.get((obj, "target"), ())):
+                for target in list(self._read_field((obj, "target"))):
                     tcallee = self.program.resolve_method(target.class_name, "run")
                     if tcallee is None or not tcallee.body:
                         continue
@@ -548,7 +667,7 @@ class PointerAnalysis:
         bg = stage_mcs.get("doInBackground")
         post = stage_mcs.get("onPostExecute")
         if bg is not None and post is not None and post.method.params:
-            ret = self._var_pts.get((bg, RETURN_VAR), set())
+            ret = self._read_var((bg, RETURN_VAR))
             if ret:
                 changed |= self._add_var((post, post.method.params[0][0]), ret)
         return changed
@@ -624,6 +743,22 @@ class PointerAnalysis:
         decl = self.layouts.resolve_view(view_id)
         widget = decl.widget_class if decl is not None else "android.view.View"
         return self._add_var((mc, instr.dst.name), {ViewObject(view_id, widget)})
+
+
+#: exact-type transfer dispatch (the IR's instruction hierarchy is flat, so
+#: type(instr) lookup is equivalent to the old isinstance chain)
+_TRANSFER = {
+    New: PointerAnalysis._do_new,
+    Assign: PointerAnalysis._do_assign,
+    FieldLoad: PointerAnalysis._do_field_load,
+    FieldStore: PointerAnalysis._do_field_store,
+    StaticLoad: PointerAnalysis._do_static_load,
+    StaticStore: PointerAnalysis._do_static_store,
+    ArrayLoad: PointerAnalysis._do_array_load,
+    ArrayStore: PointerAnalysis._do_array_store,
+    Return: PointerAnalysis._do_return,
+    Invoke: PointerAnalysis._process_invoke,
+}
 
 
 def analyze(

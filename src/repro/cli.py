@@ -7,7 +7,10 @@ the same over the reproduction's corpus:
 * ``compare <app>``  — static vs the EventRacer-style dynamic baseline,
   plus optional replay verification of the static candidates;
 * ``corpus``         — list the available apps (figures, 20-app dataset,
-  F-Droid population).
+  F-Droid population);
+* ``bench``          — run the perf harness over the synthetic corpus and
+  emit ``BENCH_pipeline.json`` (stage timings, effort counters, substrate
+  speedups vs the naive baselines).
 
 ``<app>`` is ``quickstart`` / ``newsreader`` / ``dbapp`` / ``opensudoku``,
 ``paper:<Name>`` (a Table 2 row, e.g. ``paper:K-9 Mail``), or
@@ -76,6 +79,7 @@ def _options_from(args: argparse.Namespace) -> SierraOptions:
         path_budget=args.path_budget,
         compare_without_as=args.compare_no_as,
         index_sensitive_arrays=getattr(args, "index_sensitive", False),
+        parallelism=getattr(args, "parallelism", 1),
     )
 
 
@@ -179,6 +183,51 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import DEFAULT_APPS, SPEEDUP_APP, run_bench
+
+    apps = args.apps or DEFAULT_APPS
+    speedup_app = None if args.no_speedup else (args.speedup_app or SPEEDUP_APP)
+    data = run_bench(
+        apps=apps,
+        speedup_app=speedup_app,
+        out_path=args.out,
+        parallelism=args.parallelism,
+    )
+    rows = []
+    for name, record in data["apps"].items():
+        stages = record["stages"]
+        counters = record["counters"]
+        rows.append(
+            {
+                "App": name,
+                "CG+PA (s)": f"{stages['cg_pa']:.2f}",
+                "HBG (s)": f"{stages['hbg']:.2f}",
+                "Refutation (s)": f"{stages['refutation']:.2f}",
+                "Actions": counters["actions"],
+                "Closure ops": counters["closure_ops"],
+                "PA worklist": counters["pointsto_worklist_iterations"],
+                "Paths": counters["refutation_nodes_expanded"],
+            }
+        )
+    print(format_table(rows))
+    speedup = data.get("speedup")
+    if speedup:
+        hbg = speedup["hbg"]
+        pointsto = speedup["pointsto"]
+        print(
+            f"\nsubstrate speedups on {speedup['app']}:\n"
+            f"  HBG      : naive {hbg['naive_s']:.3f}s -> bitset "
+            f"{hbg['bitset_s']:.3f}s ({hbg['speedup']:.1f}x)\n"
+            f"  points-to: passes {pointsto['passes_s']:.3f}s -> worklist "
+            f"{pointsto['worklist_s']:.3f}s ({pointsto['speedup']:.1f}x)\n"
+            f"  HBG + CG/PA combined: {speedup['hbg_cg_pa_combined']:.1f}x"
+        )
+    if args.out:
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     rows = [
         {"App": name, "Source": "figure", "Activities": "-"}
@@ -215,6 +264,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run without action sensitivity (Table 3 column)")
         p.add_argument("--index-sensitive", action="store_true",
                        help="refine constant-index array cells (paper future work)")
+        p.add_argument("--parallelism", type=int, default=1,
+                       help="refutation worker processes (1 = serial)")
 
     analyze = sub.add_parser("analyze", help="run the SIERRA pipeline on an app")
     analyze.add_argument("app")
@@ -237,6 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     corpus = sub.add_parser("corpus", help="list available apps")
     corpus.set_defaults(func=cmd_corpus)
+
+    bench = sub.add_parser("bench", help="run the perf harness, emit BENCH_pipeline.json")
+    bench.add_argument("--apps", nargs="*", default=None,
+                       help="apps to bench (default: the standard suite)")
+    bench.add_argument("--out", default="BENCH_pipeline.json",
+                       help="output path (empty string to skip writing)")
+    bench.add_argument("--parallelism", type=int, default=1,
+                       help="refutation worker processes during the bench")
+    bench.add_argument("--speedup-app", default=None,
+                       help="app for the substrate speedup measurement")
+    bench.add_argument("--no-speedup", action="store_true",
+                       help="skip the naive-vs-fast substrate comparison")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

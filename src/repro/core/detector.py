@@ -41,6 +41,9 @@ class SierraOptions:
     refute: bool = True  # run symbolic refutation
     path_budget: int = 5000  # §5's path cap
     loop_bound: int = 2
+    #: worker processes for refutation; 1 = serial (deterministic baseline).
+    #: N>1 forks a process pool over contiguous candidate chunks.
+    parallelism: int = 1
     #: also run the hybrid-without-action-sensitivity pipeline to fill
     #: Table 3's "Racy Pairs w/o AS" column (costs a second analysis)
     compare_without_as: bool = False
@@ -98,7 +101,7 @@ class Sierra:
             engine = RefutationEngine(
                 extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
             )
-            summary = engine.refute_all(racy_pairs)
+            summary = engine.refute_all(racy_pairs, parallelism=opts.parallelism)
             surviving = summary.surviving
             report.refutation_stats = summary.stats()
         else:

@@ -87,11 +87,13 @@ class ActionExtractor:
         harness: HarnessModel,
         selector: Optional[ContextSelector] = None,
         index_sensitive_arrays: bool = False,
+        solver: str = "worklist",
     ):
         self.apk = apk
         self.harness = harness
         self.selector = selector if selector is not None else ActionSensitiveSelector()
         self.index_sensitive_arrays = index_sensitive_arrays
+        self.solver = solver
 
     # ------------------------------------------------------------------
     def extract(self) -> Extraction:
@@ -104,6 +106,7 @@ class ActionExtractor:
             layouts=self.apk.layouts,
             dispatch_table=self.harness.dispatch_table,
             index_sensitive_arrays=self.index_sensitive_arrays,
+            solver=self.solver,
         ).solve()
         ext.phase_a = phase_a
 
@@ -119,6 +122,7 @@ class ActionExtractor:
             dispatch_table=self.harness.dispatch_table,
             action_resolver=ext.resolver,
             index_sensitive_arrays=self.index_sensitive_arrays,
+            solver=self.solver,
         ).solve()
         ext.result = result
 
@@ -339,6 +343,7 @@ def extract_actions(
     harness: HarnessModel,
     selector: Optional[ContextSelector] = None,
     index_sensitive_arrays: bool = False,
+    solver: str = "worklist",
 ) -> Extraction:
     """Convenience wrapper running the full extraction."""
     return ActionExtractor(
@@ -346,4 +351,5 @@ def extract_actions(
         harness,
         selector=selector,
         index_sensitive_arrays=index_sensitive_arrays,
+        solver=solver,
     ).extract()

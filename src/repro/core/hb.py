@@ -67,13 +67,17 @@ class SHBG:
 
     # ------------------------------------------------------------------
     def add(self, src: int, dst: int, rule: str) -> bool:
-        """Insert ``src ≺ dst`` unless degenerate or contradicting."""
+        """Insert ``src ≺ dst`` unless degenerate, contradicting or known."""
         if src == dst:
             return False
         if self.closure.ordered(dst, src):
             # The reverse order is already proven; adding this edge would
             # make the relation cyclic (i.e. inconsistent). Keep the first
             # derivation, drop this one.
+            return False
+        if self.closure.ordered(src, dst):
+            # Already known (directly or by transitivity): record nothing,
+            # so edges_by_rule() does not double-count re-derived edges.
             return False
         self.direct_edges.append(HBEdge(src, dst, rule))
         return self.closure.add_edge(src, dst)
@@ -86,8 +90,12 @@ class SHBG:
 
     # ------------------------------------------------------------------
     def hb_edge_count(self) -> int:
-        """Ordered pairs in the closure (Table 3's "HB Edges" column)."""
-        return len(self.closure.closure_edges())
+        """Ordered pairs in the closure (Table 3's "HB Edges" column).
+
+        Popcount over the closure's bit-rows — ``closure_edges()`` is never
+        materialized on this path.
+        """
+        return self.closure.edge_count()
 
     def ordered_fraction(self) -> float:
         """Closure edges over the theoretical max N(N-1)/2 (Table 3 col 5)."""
@@ -113,9 +121,15 @@ class SHBG:
 class HBBuilder:
     """Builds the SHBG for one extraction."""
 
-    def __init__(self, extraction: Extraction):
+    def __init__(self, extraction: Extraction, closure=None):
         self.ext = extraction
-        self.shbg = SHBG(extraction.actions)
+        if closure is not None:
+            # dependency injection for differential testing / benchmarking:
+            # any object with the TransitiveClosure query interface works;
+            # bit-row fast paths engage only when it provides row_after()
+            self.shbg = SHBG(extraction.actions, closure=closure)
+        else:
+            self.shbg = SHBG(extraction.actions)
         self._site_actions: Dict[int, List[Action]] = {}
         for action in extraction.actions:
             if action.creation_site is not None:
@@ -277,6 +291,13 @@ class HBBuilder:
     def _rule6_fixpoint(self) -> None:
         """Iterate rule 6 with the (incremental) transitive closure."""
         posts = self._fifo_posts()
+        if hasattr(self.shbg.closure, "row_after"):
+            self._rule6_fixpoint_bitset(posts)
+        else:
+            self._rule6_fixpoint_generic(posts)
+
+    def _rule6_fixpoint_generic(self, posts: List[Action]) -> None:
+        """Reference pairwise iteration (works with any closure)."""
         changed = True
         while changed:
             changed = False
@@ -289,6 +310,68 @@ class HBBuilder:
                     if self._posters_ordered(p3, p4):
                         if self.shbg.add(p3.id, p4.id, "R6-transitivity"):
                             changed = True
+
+    def _rule6_fixpoint_bitset(self, posts: List[Action]) -> None:
+        """Bit-row fast path, same sweep order as the generic version (so
+        edge attribution is identical): the every-poster-pair-ordered test
+        collapses to one subset probe — parents(p4) must all sit inside the
+        intersection of the after-rows of parents(p3), with disjoint poster
+        sets (an A1 = A2 pair is never ordered)."""
+        closure = self.shbg.closure
+        index_of = closure.index_of
+        row_after = closure.row_after
+        # same_looper is an equivalence on non-background affinities, so
+        # grouping once replaces posts² same_looper() probes; iterating a
+        # post's own group in posts order visits exactly the pairs the
+        # generic sweep would, in the same order
+        groups: Dict[Tuple[str, object], List[Tuple[int, Action, int, int]]] = {}
+        group_of: List[List[Tuple[int, Action, int, int]]] = []
+        parent_mask: List[int] = []
+        for i, p in enumerate(posts):
+            mask = 0
+            for a in p.parents:
+                idx = index_of(a)
+                if idx is not None:
+                    mask |= 1 << idx
+            parent_mask.append(mask)
+            members = groups.setdefault((p.affinity.kind, p.affinity.key), [])
+            members.append((i, p, mask, index_of(p.id)))
+            group_of.append(members)
+        shbg_add = self.shbg.add
+        changed = True
+        while changed:
+            changed = False
+            for i3, p3 in enumerate(posts):
+                members = group_of[i3]
+                if len(members) < 2:
+                    continue
+                pm3 = parent_mask[i3]
+                if not pm3:
+                    continue
+                # after3 / not_common are bit-rows over the closure's dense
+                # indices; the sweep itself is the only writer while rule 6
+                # runs, so they stay valid until one of our own adds lands —
+                # growth is then observed exactly as the generic per-pair
+                # probes would observe it
+                stale = True
+                after3 = not_common = 0
+                for i4, p4, pm4, idx4 in members:
+                    if i4 == i3 or not pm4 or pm3 & pm4:
+                        continue
+                    if stale:
+                        stale = False
+                        after3 = row_after(p3.id)
+                        common = -1
+                        for a in p3.parents:
+                            common &= row_after(a)
+                        not_common = ~common
+                    if (after3 >> idx4) & 1:
+                        continue  # already ordered
+                    if pm4 & not_common:
+                        continue  # some poster pair unordered
+                    if shbg_add(p3.id, p4.id, "R6-transitivity"):
+                        changed = True
+                        stale = True
 
     def _posters_ordered(self, p3: Action, p4: Action) -> bool:
         """Does some A1 ∈ parents(p3) strictly precede every... — per the
@@ -304,6 +387,6 @@ class HBBuilder:
         return True
 
 
-def build_shbg(extraction: Extraction) -> SHBG:
+def build_shbg(extraction: Extraction, closure=None) -> SHBG:
     """Build the Static Happens-Before Graph for an extraction."""
-    return HBBuilder(extraction).build()
+    return HBBuilder(extraction, closure=closure).build()

@@ -70,21 +70,25 @@ def _pair_group(
     location: Location,
     shbg: SHBG,
     seen: Dict[Tuple[int, int, Location], RacyPair],
+    comparable_cache: Dict[Tuple[int, int], bool],
 ) -> None:
     writers = [a for a in group if a.kind == WRITE]
     if not writers:
         return
     for a1 in writers:
+        id1 = a1.action.id
         for a2 in group:
-            if a2.action.id == a1.action.id:
+            id2 = a2.action.id
+            if id2 == id1:
                 continue
-            if shbg.comparable(a1.action.id, a2.action.id):
+            key_ids = (id1, id2) if id1 <= id2 else (id2, id1)
+            # one closure probe per action pair, not per access pair
+            ordered = comparable_cache.get(key_ids)
+            if ordered is None:
+                ordered = shbg.comparable(id1, id2)
+                comparable_cache[key_ids] = ordered
+            if ordered:
                 continue
-            key_ids = (
-                (a1.action.id, a2.action.id)
-                if a1.action.id <= a2.action.id
-                else (a2.action.id, a1.action.id)
-            )
             key = (key_ids[0], key_ids[1], location)
             if key in seen:
                 continue
@@ -108,16 +112,17 @@ def find_racy_pairs(
 
     by_location = accesses_by_location(accesses)
     seen: Dict[Tuple[int, int, Location], RacyPair] = {}
+    comparable_cache: Dict[Tuple[int, int], bool] = {}
     for location, group in by_location.items():
         if len(group) >= 2:
-            _pair_group(group, location, shbg, seen)
+            _pair_group(group, location, shbg, seen, comparable_cache)
     for location, group in by_location.items():
         if not location.field.startswith("$elem["):
             continue
         summary = Location(location.base, ARRAY_FIELD)
         summary_group = by_location.get(summary)
         if summary_group:
-            _pair_group(group + summary_group, location, shbg, seen)
+            _pair_group(group + summary_group, location, shbg, seen, comparable_cache)
     return list(seen.values())
 
 

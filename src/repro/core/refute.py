@@ -24,8 +24,10 @@ prune early.
 
 from __future__ import annotations
 
+import concurrent.futures
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.callgraph import MethodContext
 from repro.analysis.constprop import constant_message_fields
@@ -89,7 +91,22 @@ class RefutationEngine:
         self._refuted_nodes: Set[ICFGNode] = set()
 
     # ------------------------------------------------------------------
-    def refute_all(self, pairs: List[RacyPair]) -> RefutationSummary:
+    def refute_all(
+        self, pairs: List[RacyPair], parallelism: int = 1
+    ) -> RefutationSummary:
+        """Refute every candidate pair.
+
+        ``parallelism > 1`` fans the pairs out over a process pool (see
+        :func:`_refute_parallel`); ``parallelism=1`` is the serial path with
+        a single refuted-node memo shared across all pairs. Result order is
+        the input pair order in both modes.
+        """
+        if parallelism > 1 and len(pairs) > 1:
+            summary = _refute_parallel(
+                self.ext, pairs, self.path_budget, self.loop_bound, parallelism
+            )
+            if summary is not None:
+                return summary
         summary = RefutationSummary()
         for pair in pairs:
             summary.results.append(self.refute(pair))
@@ -242,6 +259,100 @@ class RefutationEngine:
         return facts
 
 
-def refute_races(extraction: Extraction, pairs: List[RacyPair], **kwargs) -> RefutationSummary:
+# ----------------------------------------------------------------------
+# parallel driver
+# ----------------------------------------------------------------------
+#: job state a forked worker inherits: (extraction, path_budget, loop_bound,
+#: chunks). Set only for the lifetime of the pool; never pickled.
+_FORK_JOB: Optional[tuple] = None
+
+
+def _refute_chunk(chunk_index: int) -> List[Tuple[bool, Optional[str], int, bool, int]]:
+    """Worker: refute one contiguous chunk of pairs with a fresh engine.
+
+    The engine — and therefore the §5 refuted-node memo — is shared across
+    the chunk's pairs, mirroring the serial path at chunk granularity.
+    Returns plain tuples so the parent can reattach its own pair objects
+    (pickling the pairs back would break identity-keyed caches).
+    """
+    assert _FORK_JOB is not None
+    extraction, path_budget, loop_bound, chunks = _FORK_JOB
+    engine = RefutationEngine(
+        extraction, path_budget=path_budget, loop_bound=loop_bound
+    )
+    out = []
+    for pair in chunks[chunk_index]:
+        r = engine.refute(pair)
+        out.append(
+            (r.is_race, r.refuted_ordering, r.nodes_expanded, r.budget_exceeded, r.cache_hits)
+        )
+    return out
+
+
+def _refute_parallel(
+    extraction: Extraction,
+    pairs: List[RacyPair],
+    path_budget: int,
+    loop_bound: int,
+    parallelism: int,
+) -> Optional[RefutationSummary]:
+    """Fan candidate pairs out over a ``fork`` process pool.
+
+    Pairs are split into ``parallelism`` contiguous chunks, one task per
+    worker, so the work partition (and thus each chunk's memo contents) is a
+    pure function of the input order — results are deterministic for a given
+    N regardless of OS scheduling. Returns None when fork is unavailable or
+    the pool fails, signalling the caller to fall back to the serial path.
+    """
+    global _FORK_JOB
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+    workers = min(parallelism, len(pairs))
+    base, rem = divmod(len(pairs), workers)
+    chunks: List[List[RacyPair]] = []
+    start = 0
+    for i in range(workers):
+        size = base + (1 if i < rem else 0)
+        chunks.append(pairs[start : start + size])
+        start += size
+
+    _FORK_JOB = (extraction, path_budget, loop_bound, chunks)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        ) as pool:
+            chunk_results = list(pool.map(_refute_chunk, range(len(chunks))))
+    except Exception:
+        return None
+    finally:
+        _FORK_JOB = None
+
+    summary = RefutationSummary()
+    for chunk, results in zip(chunks, chunk_results):
+        for pair, (is_race, ordering, nodes, budget, hits) in zip(chunk, results):
+            summary.results.append(
+                RefutationResult(
+                    pair=pair,
+                    is_race=is_race,
+                    refuted_ordering=ordering,
+                    nodes_expanded=nodes,
+                    budget_exceeded=budget,
+                    cache_hits=hits,
+                )
+            )
+    return summary
+
+
+def refute_races(
+    extraction: Extraction,
+    pairs: List[RacyPair],
+    parallelism: int = 1,
+    **kwargs,
+) -> RefutationSummary:
     """Run symbolic refutation over all candidate pairs."""
-    return RefutationEngine(extraction, **kwargs).refute_all(pairs)
+    return RefutationEngine(extraction, **kwargs).refute_all(
+        pairs, parallelism=parallelism
+    )

@@ -17,9 +17,15 @@ from repro.ir.instructions import Goto, If, Instruction, Return
 from repro.util.graph import Digraph
 
 
-@dataclass
+@dataclass(eq=False)
 class BasicBlock:
-    """A maximal straight-line instruction sequence."""
+    """A maximal straight-line instruction sequence.
+
+    Identity semantics (``eq=False``): blocks are unique per CFG, and the
+    dominator machinery keys dicts by them — value equality would be both
+    wrong (equal-content blocks in different CFGs are different nodes) and
+    inconsistent with the identity hash.
+    """
 
     index: int
     instructions: List[Instruction] = field(default_factory=list)
@@ -55,6 +61,10 @@ class ControlFlowGraph:
         self._by_label: Dict[str, BasicBlock] = {}
         self._build(instructions)
         self._idom: Optional[Dict[BasicBlock, BasicBlock]] = None
+        # query caches (blocks are identity-keyed; the CFG never mutates
+        # after _build, so cached answers stay valid)
+        self._block_of: Optional[Dict[int, BasicBlock]] = None
+        self._dom_cache: Dict[Tuple[int, int], bool] = {}
 
     # ------------------------------------------------------------------
     def _build(self, instructions: List[Instruction]) -> None:
@@ -131,11 +141,16 @@ class ControlFlowGraph:
         return self.graph.predecessors(block)
 
     def block_containing(self, instr: Instruction) -> BasicBlock:
-        for block in self.blocks:
-            for candidate in block.instructions:
-                if candidate is instr:
-                    return block
-        raise ValueError("instruction not in this CFG")
+        if self._block_of is None:
+            self._block_of = {
+                id(candidate): block
+                for block in self.blocks
+                for candidate in block.instructions
+            }
+        block = self._block_of.get(id(instr))
+        if block is None:
+            raise ValueError("instruction not in this CFG")
+        return block
 
     def instructions(self) -> Iterator[Tuple[BasicBlock, Instruction]]:
         for block in self.blocks:
@@ -149,7 +164,12 @@ class ControlFlowGraph:
         return self._idom
 
     def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
-        return self.graph.dominates(self.immediate_dominators(), a, b)
+        key = (id(a), id(b))
+        hit = self._dom_cache.get(key)
+        if hit is None:
+            hit = self.graph.dominates(self.immediate_dominators(), a, b)
+            self._dom_cache[key] = hit
+        return hit
 
     def instruction_dominates(self, a: Instruction, b: Instruction) -> bool:
         """Does instruction ``a`` dominate instruction ``b``?

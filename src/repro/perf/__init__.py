@@ -1,0 +1,24 @@
+"""Performance harness: pipeline benching and substrate speedup measurement.
+
+See :mod:`repro.perf.bench` and ``docs/performance.md``.
+"""
+
+from repro.perf.bench import (
+    DEFAULT_APPS,
+    SPEEDUP_APP,
+    bench_app,
+    bench_hbg,
+    bench_pointsto,
+    compare_to_baseline,
+    run_bench,
+)
+
+__all__ = [
+    "DEFAULT_APPS",
+    "SPEEDUP_APP",
+    "bench_app",
+    "bench_hbg",
+    "bench_pointsto",
+    "compare_to_baseline",
+    "run_bench",
+]

@@ -1,0 +1,259 @@
+"""The benchmark harness behind ``python -m repro bench``.
+
+Runs the synthetic corpus through the full pipeline, records per-stage
+wall-clock timings plus substrate effort counters (closure row merges,
+points-to worklist iterations, refutation nodes expanded), and measures the
+fast-path substrates against their naive baselines:
+
+* HBG — build the real SHBG (all seven rules) over the app's extraction
+  with the bitset closure and with
+  :class:`~repro.util.graph.NaiveTransitiveClosure`, each side paying the
+  Table 3 edge-count cost the way the respective pipeline served it;
+* points-to — solve phase A with the delta-worklist driver and with the
+  original whole-program-passes driver.
+
+The result is written to ``BENCH_pipeline.json`` so later changes have a
+recorded trajectory to regress against (``benchmarks/run_bench.py`` fails
+when any stage slows down more than 2x over the recording).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import Sierra, SierraOptions
+from repro.util.graph import NaiveTransitiveClosure, TransitiveClosure
+
+#: JSON layout version of BENCH_pipeline.json
+SCHEMA = 1
+
+#: default corpus: the four figure apps plus three Table 2 stand-ins of
+#: increasing size; "paper:K-9 Mail" is the largest synthetic-corpus app
+DEFAULT_APPS: List[str] = [
+    "quickstart",
+    "newsreader",
+    "dbapp",
+    "opensudoku",
+    "paper:APV",
+    "paper:OpenSudoku",
+    "paper:K-9 Mail",
+]
+
+#: the app the substrate speedups are measured on (largest corpus app)
+SPEEDUP_APP = "paper:K-9 Mail"
+
+
+def _load_app(name: str):
+    # lazy import: repro.cli imports repro.perf for the bench subcommand
+    from repro.cli import load_app
+
+    return load_app(name)
+
+
+# ----------------------------------------------------------------------
+# pipeline benching
+# ----------------------------------------------------------------------
+def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:
+    """Run the pipeline once and record stage timings + effort counters."""
+    apk = _load_app(name)
+    result = Sierra(options or SierraOptions()).analyze(apk)
+    report = result.report
+    ext = result.extraction
+    worklist_iterations = 0
+    for pts in (ext.phase_a, ext.result):
+        if pts is not None:
+            worklist_iterations += getattr(pts, "worklist_iterations", 0)
+    refutation = report.refutation_stats
+    return {
+        "stages": {
+            "cg_pa": round(report.time_cg_pa, 4),
+            "hbg": round(report.time_hbg, 4),
+            "refutation": round(report.time_refutation, 4),
+            "total": round(report.time_total, 4),
+        },
+        "counters": {
+            "harnesses": report.harnesses,
+            "actions": report.actions,
+            "hb_edges": report.hb_edges,
+            "closure_ops": result.shbg.closure.ops,
+            "pointsto_worklist_iterations": worklist_iterations,
+            "refutation_nodes_expanded": refutation.get("nodes_expanded", 0),
+            "refutation_cache_hits": refutation.get("cache_hits", 0),
+        },
+        "report": {
+            "racy_pairs": report.racy_pairs,
+            "races_after_refutation": report.races_after_refutation,
+            "edges_by_rule": dict(report.edges_by_rule),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# substrate benches (fast implementation vs the seed's naive baseline)
+# ----------------------------------------------------------------------
+def bench_hbg(name: str = SPEEDUP_APP, repeats: int = 3) -> Dict[str, object]:
+    """HBG stage with the bitset closure vs the naive set-based closure.
+
+    Both builds run the real rule pipeline on the app's real extraction; the
+    closure implementation is injected. The naive side also pays the seed's
+    Table 3 cost (``closure_edges()`` materialized for the edge count and
+    again for the ordered fraction), the bitset side popcounts. One warmup
+    build per side fills the extraction's shared dominance/ICFG caches, then
+    the best of ``repeats`` is kept.
+    """
+    from repro.analysis.context import make_selector
+    from repro.core.extract import extract_actions
+    from repro.core.harness import generate_harnesses
+    from repro.core.hb import build_shbg
+
+    apk = _load_app(name)
+    harness = generate_harnesses(apk)
+    ext = extract_actions(apk, harness, selector=make_selector("action", 2))
+
+    def run(closure_factory, seed_cost: bool):
+        t0 = time.perf_counter()
+        shbg = build_shbg(ext, closure=closure_factory())
+        if seed_cost:  # what the pre-bitset pipeline did, twice per report
+            count = len(shbg.closure.closure_edges())
+            count = len(shbg.closure.closure_edges())
+        else:
+            count = shbg.hb_edge_count()
+            count = shbg.hb_edge_count()
+        return time.perf_counter() - t0, count, shbg.edges_by_rule()
+
+    run(NaiveTransitiveClosure, True)  # warmup (shared caches)
+    run(TransitiveClosure, False)
+    gc.collect()
+    naive = min((run(NaiveTransitiveClosure, True) for _ in range(repeats)),
+                key=lambda r: r[0])
+    gc.collect()
+    bitset = min((run(TransitiveClosure, False) for _ in range(repeats)),
+                 key=lambda r: r[0])
+    assert naive[1:] == bitset[1:], "closure implementations disagree"
+    return {
+        "app": name,
+        "actions": len(ext.actions),
+        "hb_edges": naive[1],
+        "naive_s": round(naive[0], 4),
+        "bitset_s": round(bitset[0], 4),
+        "speedup": round(naive[0] / bitset[0], 2) if bitset[0] else float("inf"),
+    }
+
+
+def bench_pointsto(name: str = SPEEDUP_APP, repeats: int = 3) -> Dict[str, object]:
+    """Delta-worklist vs whole-program-passes points-to on phase A.
+
+    Best of ``repeats`` per solver; the fixpoints are asserted equal.
+    """
+    from repro.analysis.context import InsensitiveSelector
+    from repro.analysis.pointsto import PointerAnalysis
+    from repro.core.harness import generate_harnesses
+
+    apk = _load_app(name)
+    harness = generate_harnesses(apk)
+
+    def run(solver: str):
+        t0 = time.perf_counter()
+        analysis = PointerAnalysis(
+            apk.program,
+            harness.entries,
+            selector=InsensitiveSelector(),
+            layouts=apk.layouts,
+            dispatch_table=harness.dispatch_table,
+            solver=solver,
+        )
+        result = analysis.solve()
+        return time.perf_counter() - t0, analysis, result
+
+    gc.collect()
+    passes = min((run("passes") for _ in range(repeats)), key=lambda r: r[0])
+    gc.collect()
+    worklist = min((run("worklist") for _ in range(repeats)), key=lambda r: r[0])
+    passes_s, passes_pa, passes_res = passes
+    worklist_s, worklist_pa, worklist_res = worklist
+    assert passes_res.variable_count() == worklist_res.variable_count()
+    assert len(passes_res.call_graph) == len(worklist_res.call_graph)
+    return {
+        "app": name,
+        "passes_s": round(passes_s, 4),
+        "worklist_s": round(worklist_s, 4),
+        "passes": passes_pa.passes_run,
+        "worklist_iterations": worklist_pa.worklist_iterations,
+        "call_graph_nodes": len(worklist_res.call_graph),
+        "speedup": round(passes_s / worklist_s, 2) if worklist_s else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# driver + regression gate
+# ----------------------------------------------------------------------
+def run_bench(
+    apps: Sequence[str] = DEFAULT_APPS,
+    speedup_app: Optional[str] = SPEEDUP_APP,
+    out_path: Optional[str] = "BENCH_pipeline.json",
+    parallelism: int = 1,
+) -> Dict[str, object]:
+    """Run the full bench suite; write and return the BENCH record."""
+    options = SierraOptions(parallelism=parallelism)
+    data: Dict[str, object] = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "parallelism": parallelism,
+    }
+    # substrate speedups first, on a fresh heap: the pipeline runs below
+    # leave megabytes of live objects behind, and gen-2 collections inside
+    # the timed loops would tax the fast (sub-100ms) sides hardest
+    if speedup_app is not None:
+        hbg = bench_hbg(speedup_app)
+        pointsto = bench_pointsto(speedup_app)
+        slow = hbg["naive_s"] + pointsto["passes_s"]
+        fast = hbg["bitset_s"] + pointsto["worklist_s"]
+        data["speedup"] = {
+            "app": speedup_app,
+            "hbg": hbg,
+            "pointsto": pointsto,
+            "hbg_cg_pa_combined": round(slow / fast, 2) if fast else float("inf"),
+        }
+    data["apps"] = {name: bench_app(name, options) for name in apps}
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return data
+
+
+#: stages below this baseline duration are noise, not signal
+_REGRESSION_FLOOR_S = 0.05
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 2.0,
+) -> List[str]:
+    """Stage-level regressions of ``current`` against ``baseline``.
+
+    Returns human-readable violation strings; empty means no stage of any
+    app shared by both records slowed down more than ``threshold``x.
+    """
+    violations: List[str] = []
+    base_apps = baseline.get("apps", {})
+    for app, record in current.get("apps", {}).items():
+        base_record = base_apps.get(app)
+        if base_record is None:
+            continue
+        for stage, seconds in record["stages"].items():
+            base_seconds = base_record["stages"].get(stage)
+            if base_seconds is None:
+                continue
+            allowed = max(base_seconds, _REGRESSION_FLOOR_S) * threshold
+            if seconds > allowed:
+                violations.append(
+                    f"{app}/{stage}: {seconds:.3f}s > {threshold}x baseline "
+                    f"({base_seconds:.3f}s)"
+                )
+    return violations

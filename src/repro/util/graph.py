@@ -24,12 +24,18 @@ class Digraph(Generic[N]):
     """A mutable directed graph over hashable nodes.
 
     Nodes are kept in insertion order so every traversal (and therefore every
-    analysis result downstream) is deterministic.
+    analysis result downstream) is deterministic. Adjacency is a dict of
+    dicts: membership tests and edge insertion/removal are O(1) while dict
+    insertion order preserves the old list semantics of ``successors`` /
+    ``predecessors``.
     """
 
     def __init__(self) -> None:
-        self._succ: Dict[N, List[N]] = {}
-        self._pred: Dict[N, List[N]] = {}
+        self._succ: Dict[N, Dict[N, None]] = {}
+        self._pred: Dict[N, Dict[N, None]] = {}
+        # start-node -> frozen reachable set, for the hot no-skip query
+        # (HB rule 5 runs it repeatedly on an immutable ICFG)
+        self._reach_cache: Dict[N, frozenset] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -37,8 +43,8 @@ class Digraph(Generic[N]):
     def add_node(self, node: N) -> None:
         """Insert ``node`` if it is not already present."""
         if node not in self._succ:
-            self._succ[node] = []
-            self._pred[node] = []
+            self._succ[node] = {}
+            self._pred[node] = {}
 
     def add_edge(self, src: N, dst: N) -> bool:
         """Insert the edge ``src -> dst``; return True if it was new."""
@@ -46,15 +52,19 @@ class Digraph(Generic[N]):
         self.add_node(dst)
         if dst in self._succ[src]:
             return False
-        self._succ[src].append(dst)
-        self._pred[dst].append(src)
+        self._succ[src][dst] = None
+        self._pred[dst][src] = None
+        if self._reach_cache:
+            self._reach_cache.clear()
         return True
 
     def remove_edge(self, src: N, dst: N) -> None:
         """Remove the edge ``src -> dst`` if present."""
         if src in self._succ and dst in self._succ[src]:
-            self._succ[src].remove(dst)
-            self._pred[dst].remove(src)
+            del self._succ[src][dst]
+            del self._pred[dst][src]
+            if self._reach_cache:
+                self._reach_cache.clear()
 
     def copy(self) -> "Digraph[N]":
         clone: Digraph[N] = Digraph()
@@ -102,11 +112,19 @@ class Digraph(Generic[N]):
 
         ``skip`` omits one node (or a set of nodes) entirely, emulating node
         removal: this is how HB rule 5 tests de-facto domination ("remove e1,
-        is e2 still reachable?") without mutating the graph.
+        is e2 still reachable?") without mutating the graph. The no-skip
+        answer is memoised until the next edge mutation.
         """
-        skip_set: Set[N] = (
-            set() if skip is None else (skip if isinstance(skip, set) else {skip})
-        )
+        if skip is None or (isinstance(skip, set) and not skip):
+            cached = self._reach_cache.get(start)
+            if cached is None:
+                cached = frozenset(self._bfs(start, frozenset()))
+                self._reach_cache[start] = cached
+            return set(cached)
+        skip_set: Set[N] = skip if isinstance(skip, set) else {skip}
+        return self._bfs(start, skip_set)
+
+    def _bfs(self, start: N, skip_set: Set[N]) -> Set[N]:
         if start not in self._succ or start in skip_set:
             return set()
         seen = {start}
@@ -201,8 +219,154 @@ class TransitiveClosure(Generic[N]):
 
     The SHBG alternates between adding HB edges (rules 1-6) and querying
     orderedness; rule 6 in particular discovers new edges from closed ones,
-    so the closure must stay consistent after every insertion. We maintain,
-    per node, the full descendant and ancestor sets and propagate on insert.
+    so the closure must stay consistent after every insertion.
+
+    Nodes are mapped to a dense integer index; per node we keep the full
+    descendant ("after") and ancestor ("before") sets as arbitrary-precision
+    integer bit-rows. ``ordered``/``comparable`` are single shift-and-mask
+    probes, ``add_edge`` propagates by masked OR over the affected ancestor
+    rows, and edge counting is popcount-based — no edge set is ever
+    materialized unless :meth:`closure_edges` is explicitly asked for.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[N, int] = {}
+        self._node_list: List[N] = []
+        self._after: List[int] = []
+        self._before: List[int] = []
+        self._direct: Dict[Tuple[N, N], None] = {}
+        #: row-merge operations performed by add_edge (perf counter)
+        self.ops = 0
+        #: bumped whenever the closure grows — lets clients revalidate
+        #: cached row combinations (e.g. the SHBG rule-6 poster masks)
+        self.version = 0
+
+    def add_node(self, node: N) -> int:
+        idx = self._index.get(node)
+        if idx is None:
+            idx = len(self._node_list)
+            self._index[node] = idx
+            self._node_list.append(node)
+            self._after.append(0)
+            self._before.append(0)
+        return idx
+
+    def add_edge(self, src: N, dst: N) -> bool:
+        """Record ``src < dst``; returns True if the closure grew."""
+        s = self.add_node(src)
+        d = self.add_node(dst)
+        self._direct.setdefault((src, dst), None)
+        after = self._after
+        before = self._before
+        if (after[s] >> d) & 1:
+            return False
+        # every ancestor of src (and src itself) now precedes every
+        # descendant of dst (and dst itself); because the rows are kept
+        # transitively closed, an ancestor that already reaches dst already
+        # holds all of ``targets`` (and symmetrically for descendants), so
+        # each affected row takes exactly one masked OR
+        sources = before[s] | (1 << s)
+        targets = after[d] | (1 << d)
+        # an ancestor already reaching dst is exactly a bit of before[dst],
+        # so the affected rows fall out of two masks computed up front
+        a_mask = sources & ~before[d]
+        b_mask = targets & ~after[s]
+        while a_mask:
+            low = a_mask & -a_mask
+            a_mask ^= low
+            after[low.bit_length() - 1] |= targets
+            self.ops += 1
+        while b_mask:
+            low = b_mask & -b_mask
+            b_mask ^= low
+            before[low.bit_length() - 1] |= sources
+        self.version += 1
+        return True
+
+    def ordered(self, a: N, b: N) -> bool:
+        """Is ``a < b`` in the closure?"""
+        ia = self._index.get(a)
+        ib = self._index.get(b)
+        if ia is None or ib is None:
+            return False
+        return (self._after[ia] >> ib) & 1 == 1
+
+    # ------------------------------------------------------------------
+    # bulk bit-row access — lets clients fuse many ordered() probes into a
+    # handful of big-int operations (the SHBG's rule-6 fixpoint does this)
+    # ------------------------------------------------------------------
+    def index_of(self, node: N) -> Optional[int]:
+        """Dense bit index of ``node`` (bit positions in the row masks)."""
+        return self._index.get(node)
+
+    def row_after(self, node: N) -> int:
+        """Bit-row of ``node``'s strict descendants, as an int mask."""
+        idx = self._index.get(node)
+        return self._after[idx] if idx is not None else 0
+
+    def row_before(self, node: N) -> int:
+        """Bit-row of ``node``'s strict ancestors, as an int mask."""
+        idx = self._index.get(node)
+        return self._before[idx] if idx is not None else 0
+
+    def comparable(self, a: N, b: N) -> bool:
+        """Are ``a`` and ``b`` ordered either way?"""
+        ia = self._index.get(a)
+        ib = self._index.get(b)
+        if ia is None or ib is None:
+            return False
+        return (((self._after[ia] >> ib) | (self._after[ib] >> ia)) & 1) == 1
+
+    def _decode(self, mask: int) -> Set[N]:
+        nodes = self._node_list
+        out: Set[N] = set()
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            out.add(nodes[low.bit_length() - 1])
+        return out
+
+    def successors(self, node: N) -> Set[N]:
+        idx = self._index.get(node)
+        return self._decode(self._after[idx]) if idx is not None else set()
+
+    def predecessors(self, node: N) -> Set[N]:
+        idx = self._index.get(node)
+        return self._decode(self._before[idx]) if idx is not None else set()
+
+    def direct_edges(self) -> Set[Tuple[N, N]]:
+        """Edges inserted explicitly (not derived by transitivity)."""
+        return set(self._direct)
+
+    def edge_count(self) -> int:
+        """Ordered pairs in the closure, by popcount (no materialization)."""
+        return sum(row.bit_count() for row in self._after)
+
+    def closure_edges(self) -> Set[Tuple[N, N]]:
+        nodes = self._node_list
+        out: Set[Tuple[N, N]] = set()
+        for i, row in enumerate(self._after):
+            a = nodes[i]
+            while row:
+                low = row & -row
+                row ^= low
+                out.add((a, nodes[low.bit_length() - 1]))
+        return out
+
+    def nodes(self) -> List[N]:
+        return list(self._node_list)
+
+    def has_cycle(self) -> bool:
+        return any((row >> i) & 1 for i, row in enumerate(self._after))
+
+
+class NaiveTransitiveClosure(Generic[N]):
+    """The original per-node Python-``set`` closure.
+
+    Kept as the reference implementation: the property tests check the
+    bitset closure against it, and ``repro.perf`` uses it as the baseline
+    when measuring the bitset speedup. Semantically identical to
+    :class:`TransitiveClosure`.
     """
 
     def __init__(self) -> None:
@@ -234,11 +398,9 @@ class TransitiveClosure(Generic[N]):
         return grew
 
     def ordered(self, a: N, b: N) -> bool:
-        """Is ``a < b`` in the closure?"""
         return b in self._after.get(a, ())
 
     def comparable(self, a: N, b: N) -> bool:
-        """Are ``a`` and ``b`` ordered either way?"""
         return self.ordered(a, b) or self.ordered(b, a)
 
     def successors(self, node: N) -> Set[N]:
@@ -248,8 +410,10 @@ class TransitiveClosure(Generic[N]):
         return set(self._before.get(node, ()))
 
     def direct_edges(self) -> Set[Tuple[N, N]]:
-        """Edges inserted explicitly (not derived by transitivity)."""
         return set(self._direct)
+
+    def edge_count(self) -> int:
+        return sum(len(afters) for afters in self._after.values())
 
     def closure_edges(self) -> Set[Tuple[N, N]]:
         return {(a, b) for a, afters in self._after.items() for b in afters}

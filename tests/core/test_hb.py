@@ -241,3 +241,68 @@ class TestStatsAndEdges:
         pairs = shbg.unordered_pairs()
         n = len(shbg.actions)
         assert len(pairs) + shbg.hb_edge_count() == n * (n - 1) // 2
+
+
+class TestAddDedupe:
+    """Regression: re-added or transitively-implied edges must not leave
+    duplicate HBEdge records behind (the seed recorded them, inflating
+    edges_by_rule and the direct-edge list)."""
+
+    def fresh_shbg(self):
+        from repro.core.hb import SHBG
+
+        apk = full_lifecycle_apk()
+        harness = generate_harnesses(apk)
+        ext = extract_actions(apk, harness)
+        return SHBG(actions=ext.actions)
+
+    def test_readded_edge_records_once(self):
+        shbg = self.fresh_shbg()
+        a, b = shbg.actions[0].id, shbg.actions[1].id
+        assert shbg.add(a, b, "T") is True
+        n = len(shbg.direct_edges)
+        assert shbg.add(a, b, "T") is False
+        assert len(shbg.direct_edges) == n
+        assert shbg.edges_by_rule().get("T") == 1
+
+    def test_transitively_implied_edge_not_recorded(self):
+        shbg = self.fresh_shbg()
+        a, b, c = (act.id for act in shbg.actions[:3])
+        shbg.add(a, b, "T")
+        shbg.add(b, c, "T")
+        n = len(shbg.direct_edges)
+        assert shbg.ordered(a, c)
+        assert shbg.add(a, c, "T") is False  # already implied
+        assert len(shbg.direct_edges) == n
+
+
+class TestClosureImplementationEquivalence:
+    """build_shbg with the naive set closure and the bitset closure must
+    produce identical graphs — rule 6 takes a different code path per
+    closure, so this locks the fast path to the reference sweep."""
+
+    @pytest.mark.parametrize("builder", [full_lifecycle_apk])
+    def test_generic_vs_bitset_rule_pipeline(self, builder):
+        from repro.util.graph import NaiveTransitiveClosure
+
+        apk = builder()
+        harness = generate_harnesses(apk)
+        ext = extract_actions(apk, harness)
+        fast = build_shbg(ext)
+        slow = build_shbg(ext, closure=NaiveTransitiveClosure())
+        assert fast.edges_by_rule() == slow.edges_by_rule()
+        assert fast.hb_edge_count() == len(slow.closure.closure_edges())
+        for a in ext.actions:
+            for b in ext.actions:
+                assert fast.ordered(a.id, b.id) == slow.ordered(a.id, b.id)
+
+    def test_generic_vs_bitset_on_synthetic_app(self, small_synth):
+        from repro.util.graph import NaiveTransitiveClosure
+
+        apk, _truth = small_synth
+        harness = generate_harnesses(apk)
+        ext = extract_actions(apk, harness)
+        fast = build_shbg(ext)
+        slow = build_shbg(ext, closure=NaiveTransitiveClosure())
+        assert fast.edges_by_rule() == slow.edges_by_rule()
+        assert fast.closure.closure_edges() == slow.closure.closure_edges()

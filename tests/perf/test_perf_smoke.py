@@ -1,0 +1,98 @@
+"""Fast checks of the benchmark harness (marked ``perf_smoke``).
+
+These run the real substrate benches on a small app (speed, not the
+recorded baseline) and check the regression-gate logic on synthetic
+records, so ``pytest -m perf_smoke`` stays well under a minute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    bench_app,
+    bench_hbg,
+    bench_pointsto,
+    compare_to_baseline,
+    run_bench,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+#: small enough to bench in seconds, big enough to exercise every stage
+SMALL_APP = "paper:APV"
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    return run_bench(apps=[SMALL_APP], speedup_app=None, out_path=None)
+
+
+class TestBenchRecordShape:
+    def test_schema_and_keys(self, bench_record):
+        assert bench_record["schema"] == 1
+        record = bench_record["apps"][SMALL_APP]
+        assert set(record) == {"stages", "counters", "report"}
+        assert set(record["stages"]) == {"cg_pa", "hbg", "refutation", "total"}
+
+    def test_counters_are_positive(self, bench_record):
+        counters = bench_record["apps"][SMALL_APP]["counters"]
+        assert counters["actions"] > 0
+        assert counters["closure_ops"] > 0
+        assert counters["pointsto_worklist_iterations"] > 0
+
+    def test_report_fields_recorded(self, bench_record):
+        report = bench_record["apps"][SMALL_APP]["report"]
+        assert report["racy_pairs"] >= report["races_after_refutation"] >= 0
+        assert report["edges_by_rule"]
+
+
+class TestSubstrateBenches:
+    def test_bench_hbg_sides_agree(self):
+        # the bench itself asserts edge-count and per-rule equality between
+        # the naive and bitset builds; a crash or mismatch fails this test
+        out = bench_hbg(SMALL_APP, repeats=1)
+        assert out["hb_edges"] > 0
+        assert out["naive_s"] > 0 and out["bitset_s"] > 0
+
+    def test_bench_pointsto_sides_agree(self):
+        out = bench_pointsto(SMALL_APP, repeats=1)
+        assert out["passes"] >= 1
+        assert out["worklist_iterations"] > 0
+
+    def test_bench_app_standalone(self):
+        record = bench_app(SMALL_APP)
+        assert record["stages"]["total"] >= record["stages"]["cg_pa"]
+
+
+class TestRegressionGate:
+    @staticmethod
+    def _record(cg_pa, hbg):
+        return {
+            "apps": {
+                "app": {"stages": {"cg_pa": cg_pa, "hbg": hbg}}
+            }
+        }
+
+    def test_no_violation_within_threshold(self):
+        base = self._record(1.0, 0.5)
+        current = self._record(1.9, 0.9)
+        assert compare_to_baseline(current, base) == []
+
+    def test_violation_beyond_threshold(self):
+        base = self._record(1.0, 0.5)
+        current = self._record(2.5, 0.5)
+        violations = compare_to_baseline(current, base)
+        assert len(violations) == 1
+        assert "app/cg_pa" in violations[0]
+
+    def test_noise_floor_suppresses_tiny_stages(self):
+        # 1ms -> 4ms is 4x but far below the floor: not a regression
+        base = self._record(0.001, 0.5)
+        current = self._record(0.004, 0.5)
+        assert compare_to_baseline(current, base) == []
+
+    def test_unknown_apps_and_stages_ignored(self):
+        base = {"apps": {"other": {"stages": {"cg_pa": 1.0}}}}
+        current = self._record(9.0, 9.0)
+        assert compare_to_baseline(current, base) == []

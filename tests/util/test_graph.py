@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import itertools
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.util.graph import (
     Digraph,
+    NaiveTransitiveClosure,
     TransitiveClosure,
     strongly_connected_components,
     topological_order,
@@ -290,3 +292,104 @@ class TestSCC:
             g.add_edge(a, b)
         sizes = sorted(len(c) for c in strongly_connected_components(g))
         assert sizes == [2, 2]
+
+
+class TestClosureAgainstFloydWarshall:
+    """The bitset closure vs a Floyd-Warshall oracle (and the naive
+    reference) on hundreds of random DAGs with randomized insertion order."""
+
+    @staticmethod
+    def _floyd_warshall(n, edges):
+        reach = [[False] * n for _ in range(n)]
+        for a, b in edges:
+            reach[a][b] = True
+        for k in range(n):
+            rk = reach[k]
+            for i in range(n):
+                if reach[i][k]:
+                    ri = reach[i]
+                    for j in range(n):
+                        if rk[j]:
+                            ri[j] = True
+        return reach
+
+    def test_random_dags_match_oracle(self):
+        rng = random.Random(0x51E88A)
+        for trial in range(220):
+            n = rng.randint(2, 14)
+            # i < j only: guaranteed acyclic regardless of density
+            candidates = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            edges = rng.sample(candidates, rng.randint(0, len(candidates)))
+            rng.shuffle(edges)  # incremental order must not matter
+
+            oracle = self._floyd_warshall(n, edges)
+            bitset = TransitiveClosure()
+            naive = NaiveTransitiveClosure()
+            for a, b in edges:
+                grew_b = bitset.add_edge(a, b)
+                grew_n = naive.add_edge(a, b)
+                assert grew_b == grew_n, (trial, a, b)
+
+            for a in range(n):
+                for b in range(n):
+                    if a == b:
+                        continue
+                    expected = oracle[a][b]
+                    assert bitset.ordered(a, b) == expected, (trial, a, b)
+                    assert naive.ordered(a, b) == expected, (trial, a, b)
+                    assert bitset.comparable(a, b) == (
+                        oracle[a][b] or oracle[b][a]
+                    ), (trial, a, b)
+            assert bitset.closure_edges() == naive.closure_edges(), trial
+            assert bitset.edge_count() == naive.edge_count(), trial
+
+    def test_row_accessors_mirror_ordered(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            n = rng.randint(2, 12)
+            candidates = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            edges = rng.sample(candidates, rng.randint(1, len(candidates)))
+            tc = TransitiveClosure()
+            for a, b in edges:
+                tc.add_edge(a, b)
+            for a in tc.nodes():
+                after = tc.row_after(a)
+                before = tc.row_before(a)
+                for b in tc.nodes():
+                    idx = tc.index_of(b)
+                    assert (after >> idx) & 1 == int(tc.ordered(a, b))
+                    assert (before >> idx) & 1 == int(tc.ordered(b, a))
+
+    def test_row_accessors_unknown_node(self):
+        tc = TransitiveClosure()
+        tc.add_edge("a", "b")
+        assert tc.index_of("zzz") is None
+        assert tc.row_after("zzz") == 0
+        assert tc.row_before("zzz") == 0
+
+    def test_version_bumps_only_on_growth(self):
+        tc = TransitiveClosure()
+        v0 = tc.version
+        assert tc.add_edge(1, 2) is True
+        assert tc.version > v0
+        v1 = tc.version
+        assert tc.add_edge(1, 2) is False  # duplicate: no growth
+        assert tc.version == v1
+        tc.add_edge(2, 3)
+        v2 = tc.version
+        assert tc.add_edge(1, 3) is False  # already implied transitively
+        assert tc.version == v2
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    max_size=30))
+    def test_arbitrary_edge_lists_match_naive(self, edges):
+        # not restricted to DAGs: cycles must agree too
+        bitset = TransitiveClosure()
+        naive = NaiveTransitiveClosure()
+        for a, b in edges:
+            assert bitset.add_edge(a, b) == naive.add_edge(a, b)
+        for a in bitset.nodes():
+            for b in bitset.nodes():
+                assert bitset.ordered(a, b) == naive.ordered(a, b)
+        assert bitset.closure_edges() == naive.closure_edges()
