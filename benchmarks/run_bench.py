@@ -24,6 +24,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.cli import is_known_app  # noqa: E402
 from repro.perf import compare_to_baseline, run_bench  # noqa: E402
 
 BASELINE = REPO_ROOT / "BENCH_pipeline.json"
@@ -47,12 +48,32 @@ def main(argv=None) -> int:
         return 0
 
     if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run with --update first",
+        print(f"error: no baseline at {args.baseline}; run with --update first",
               file=sys.stderr)
         return 2
 
-    baseline = json.loads(args.baseline.read_text())
-    current = run_bench(speedup_app=None, out_path=None)
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: baseline {args.baseline} is not valid JSON ({exc}); "
+              "run with --update to regenerate it", file=sys.stderr)
+        return 2
+
+    # gate exactly the apps the baseline recorded; a baseline naming an app
+    # the corpus no longer has must fail loudly, not silently skip it
+    baseline_apps = sorted(baseline.get("apps", {}))
+    if not baseline_apps:
+        print(f"error: baseline {args.baseline} records no apps; "
+              "run with --update to regenerate it", file=sys.stderr)
+        return 2
+    unknown = [app for app in baseline_apps if not is_known_app(app)]
+    if unknown:
+        print(f"error: baseline app(s) no longer in the corpus: "
+              f"{', '.join(unknown)}; run with --update to re-record",
+              file=sys.stderr)
+        return 2
+
+    current = run_bench(apps=baseline_apps, speedup_app=None, out_path=None)
     elapsed = time.perf_counter() - started
 
     violations = compare_to_baseline(current, baseline, threshold=args.threshold)

@@ -71,6 +71,22 @@ def load_app(name: str) -> Apk:
     )
 
 
+def is_known_app(name: str) -> bool:
+    """Does ``<app>`` resolve, without paying for synthesis? Used to fail
+    batch runs (corpus-analyze, the bench gate) fast on bad names."""
+    if name in _FIGURE_APPS:
+        return True
+    if name.startswith("paper:"):
+        wanted = name[len("paper:") :].lower()
+        return any(row.name.lower() == wanted for row in TWENTY_APPS)
+    if name.startswith("fdroid:"):
+        try:
+            return 0 <= int(name[len("fdroid:") :]) < 174
+        except ValueError:
+            return False
+    return False
+
+
 def _options_from(args: argparse.Namespace) -> SierraOptions:
     return SierraOptions(
         selector=args.selector,
@@ -228,6 +244,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus_analyze(args: argparse.Namespace) -> int:
+    from repro.corpus.driver import run_corpus
+
+    def progress(record):
+        line = f"[{record.status:>8s}] {record.app} ({record.elapsed_s:.2f}s)"
+        if record.error is not None:
+            line += f" — {record.error['type']}: {record.error['message']}"
+        elif record.degradations:
+            line += f" — {record.degradations[0]}"
+        print(line, flush=True)
+
+    try:
+        run = run_corpus(
+            apps=args.apps,
+            options=_options_from(args),
+            timeout_s=args.timeout,
+            isolate=not args.no_isolation,
+            out_path=args.out or None,
+            inject_fail=set(args.inject_fail or ()),
+            inject_hang=set(args.inject_hang or ()),
+            progress=progress,
+        )
+    except ValueError as exc:
+        # same exit code argparse uses for unusable invocations
+        print(f"corpus-analyze: {exc}", file=sys.stderr)
+        return 2
+
+    summary = run.summary()
+    print(
+        f"\n{summary['total']} apps in {summary['elapsed_s']:.1f}s: "
+        f"{summary['ok']} ok, {summary['degraded']} degraded, "
+        f"{summary['error']} error, {summary['timeout']} timeout"
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    return run.exit_code
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     rows = [
         {"App": name, "Source": "figure", "Activities": "-"}
@@ -288,6 +342,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     corpus = sub.add_parser("corpus", help="list available apps")
     corpus.set_defaults(func=cmd_corpus)
+
+    batch = sub.add_parser(
+        "corpus-analyze",
+        help="batch-run the pipeline over the corpus with per-app fault "
+        "isolation; writes RUN_report.json",
+    )
+    batch.add_argument("--apps", nargs="*", default=None,
+                       help="apps to run (default: figure apps + all 20 paper apps)")
+    batch.add_argument("--timeout", type=float, default=120.0,
+                       help="per-app wall-clock budget in seconds (default 120)")
+    batch.add_argument("--out", default="RUN_report.json",
+                       help="report path (empty string to skip writing)")
+    batch.add_argument("--no-isolation", action="store_true",
+                       help="run apps in-process (no worker fork, timeouts "
+                       "not enforced; for debugging)")
+    batch.add_argument("--inject-fail", action="append", metavar="APP",
+                       help="fault injection: APP's worker raises before "
+                       "analysis (testing aid, repeatable)")
+    batch.add_argument("--inject-hang", action="append", metavar="APP",
+                       help="fault injection: APP's worker sleeps past the "
+                       "budget (testing aid, repeatable)")
+    add_analysis_flags(batch)
+    batch.set_defaults(func=cmd_corpus_analyze)
 
     bench = sub.add_parser("bench", help="run the perf harness, emit BENCH_pipeline.json")
     bench.add_argument("--apps", nargs="*", default=None,

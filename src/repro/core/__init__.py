@@ -8,7 +8,7 @@ from repro.core.harness import HarnessGenerator, HarnessModel, HarnessSite, NOND
 from repro.core.hb import FIFO_POST_APIS, HBBuilder, HBEdge, SHBG, build_shbg
 from repro.core.prioritize import is_benign_guard, rank_races
 from repro.core.races import DATA_RACE, EVENT_RACE, RacyPair, find_racy_pairs, racy_pair_stats
-from repro.core.refute import RefutationEngine, RefutationResult, RefutationSummary, refute_races
+from repro.core.refute import RefutationEngine, RefutationResult, RefutationSummary, WorkerPoolError, refute_races
 from repro.core.report import RaceReport, SierraReport, format_table, median
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "SierraReport",
     "SierraResult",
     "WRITE",
+    "WorkerPoolError",
     "accesses_by_location",
     "analyze_apk",
     "build_shbg",

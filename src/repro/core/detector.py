@@ -11,14 +11,18 @@
 6. prioritization (§3.1),
 
 and reports per-stage wall-clock timings bucketed exactly like Table 4:
-CG+PA (harness + both analysis phases), HBG, and Refutation.
+CG+PA (harness + both analysis phases), HBG, and Refutation. Each stage is
+wrapped in a :func:`repro.obs.stage` block, so an installed diagnostics
+hook (``repro corpus-analyze``, an operator dashboard) sees start/end
+events — and where a run died — without the detector knowing about it.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
+
+from repro import obs
 
 from repro.analysis.context import ContextSelector, HybridSelector, make_selector
 from repro.android.apk import Apk
@@ -75,20 +79,20 @@ class Sierra:
         opts = self.options
         report = SierraReport(app=apk.name)
 
-        t0 = time.perf_counter()
-        harness = generate_harnesses(apk)
-        selector = make_selector(opts.selector, opts.k)
-        extraction = extract_actions(
-            apk,
-            harness,
-            selector=selector,
-            index_sensitive_arrays=opts.index_sensitive_arrays,
-        )
-        report.time_cg_pa = time.perf_counter() - t0
+        with obs.stage("cg_pa", app=apk.name) as timer:
+            harness = generate_harnesses(apk)
+            selector = make_selector(opts.selector, opts.k)
+            extraction = extract_actions(
+                apk,
+                harness,
+                selector=selector,
+                index_sensitive_arrays=opts.index_sensitive_arrays,
+            )
+        report.time_cg_pa = timer.seconds
 
-        t1 = time.perf_counter()
-        shbg = build_shbg(extraction)
-        report.time_hbg = time.perf_counter() - t1
+        with obs.stage("hbg", app=apk.name) as timer:
+            shbg = build_shbg(extraction)
+        report.time_hbg = timer.seconds
 
         accesses = collect_accesses(extraction)
         racy_pairs = find_racy_pairs(extraction, shbg, accesses)
@@ -96,17 +100,17 @@ class Sierra:
         if opts.compare_without_as:
             report.racy_pairs_no_as = self._racy_pairs_without_as(apk, harness)
 
-        t2 = time.perf_counter()
-        if opts.refute:
-            engine = RefutationEngine(
-                extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
-            )
-            summary = engine.refute_all(racy_pairs, parallelism=opts.parallelism)
-            surviving = summary.surviving
-            report.refutation_stats = summary.stats()
-        else:
-            surviving = list(racy_pairs)
-        report.time_refutation = time.perf_counter() - t2
+        with obs.stage("refutation", app=apk.name) as timer:
+            if opts.refute:
+                engine = RefutationEngine(
+                    extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
+                )
+                summary = engine.refute_all(racy_pairs, parallelism=opts.parallelism)
+                surviving = summary.surviving
+                report.refutation_stats = summary.stats()
+            else:
+                surviving = list(racy_pairs)
+        report.time_refutation = timer.seconds
 
         report.harnesses = harness.harness_count()
         report.actions = len(extraction.actions)

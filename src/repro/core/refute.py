@@ -26,8 +26,11 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
 
 from repro.analysis.callgraph import MethodContext
 from repro.analysis.constprop import constant_message_fields
@@ -53,6 +56,11 @@ class RefutationResult:
 @dataclass
 class RefutationSummary:
     results: List[RefutationResult] = field(default_factory=list)
+    #: True when a parallel run fell back to serial (pool crash or no fork).
+    #: The results are still exact — serial is the reference implementation —
+    #: but the operator asked for parallelism and did not get it.
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     @property
     def surviving(self) -> List[RacyPair]:
@@ -70,7 +78,23 @@ class RefutationSummary:
             "budget_exceeded": sum(1 for r in self.results if r.budget_exceeded),
             "nodes_expanded": sum(r.nodes_expanded for r in self.results),
             "cache_hits": sum(r.cache_hits for r in self.results),
+            "degraded": int(self.degraded),
         }
+
+
+class WorkerPoolError(RuntimeError):
+    """The refutation worker pool crashed (worker exception or pool death).
+
+    ``cause_traceback`` preserves the worker-side traceback so the failure
+    can be diagnosed even after the fallback run succeeds.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"refutation worker pool crashed: {cause!r}")
+        self.cause = cause
+        self.cause_traceback = "".join(
+            traceback.format_exception(type(cause), cause, cause.__traceback__)
+        )
 
 
 class RefutationEngine:
@@ -100,16 +124,47 @@ class RefutationEngine:
         :func:`_refute_parallel`); ``parallelism=1`` is the serial path with
         a single refuted-node memo shared across all pairs. Result order is
         the input pair order in both modes.
+
+        A crashed worker pool is retried once (transient failures: a worker
+        OOM-killed, a fork raced a thread), then the run degrades to the
+        serial path **loudly**: a ``degraded`` event is emitted through
+        :mod:`repro.obs` and the returned summary carries ``degraded=True``
+        plus the captured worker traceback in ``degraded_reason``. Serial is
+        the reference implementation, so degraded results are still exact.
         """
+        degraded_reason: Optional[str] = None
         if parallelism > 1 and len(pairs) > 1:
-            summary = _refute_parallel(
-                self.ext, pairs, self.path_budget, self.loop_bound, parallelism
+            for attempt in (1, 2):
+                try:
+                    summary = _refute_parallel(
+                        self.ext, pairs, self.path_budget, self.loop_bound, parallelism
+                    )
+                except WorkerPoolError as exc:
+                    degraded_reason = exc.cause_traceback
+                    obs.emit_warning(
+                        f"{exc} (attempt {attempt}/2)",
+                        stage="refutation",
+                        attempt=attempt,
+                        cause=repr(exc.cause),
+                    )
+                    continue
+                if summary is not None:
+                    return summary
+                # fork is unavailable on this platform: retrying cannot help
+                degraded_reason = "fork start method unavailable"
+                break
+            obs.emit_degraded(
+                "parallel refutation degraded to serial: " + degraded_reason.splitlines()[-1],
+                stage="refutation",
+                parallelism=parallelism,
+                cause_traceback=degraded_reason,
             )
-            if summary is not None:
-                return summary
         summary = RefutationSummary()
         for pair in pairs:
             summary.results.append(self.refute(pair))
+        if degraded_reason is not None:
+            summary.degraded = True
+            summary.degraded_reason = degraded_reason
         return summary
 
     def refute(self, pair: RacyPair) -> RefutationResult:
@@ -301,8 +356,10 @@ def _refute_parallel(
     Pairs are split into ``parallelism`` contiguous chunks, one task per
     worker, so the work partition (and thus each chunk's memo contents) is a
     pure function of the input order — results are deterministic for a given
-    N regardless of OS scheduling. Returns None when fork is unavailable or
-    the pool fails, signalling the caller to fall back to the serial path.
+    N regardless of OS scheduling. Returns None when fork is unavailable on
+    the platform (the caller degrades to serial without retrying); a pool or
+    worker crash raises :class:`WorkerPoolError` carrying the worker-side
+    traceback so the caller can retry once and then degrade loudly.
     """
     global _FORK_JOB
     try:
@@ -325,8 +382,10 @@ def _refute_parallel(
             max_workers=workers, mp_context=mp_context
         ) as pool:
             chunk_results = list(pool.map(_refute_chunk, range(len(chunks))))
-    except Exception:
-        return None
+    except Exception as exc:
+        # a worker raised (bugs in _refute_chunk included) or the pool died;
+        # surface the cause instead of silently absorbing it (satellite 1)
+        raise WorkerPoolError(exc) from exc
     finally:
         _FORK_JOB = None
 

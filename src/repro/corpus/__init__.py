@@ -7,6 +7,13 @@ from repro.corpus.apps import (
     build_quickstart_app,
     build_receiver_app,
 )
+from repro.corpus.driver import (
+    AppRunRecord,
+    DEFAULT_TIMEOUT_S,
+    RunReport,
+    default_corpus,
+    run_corpus,
+)
 from repro.corpus.fdroid import (
     FDROID_APP_COUNT,
     fdroid_spec,
@@ -34,13 +41,16 @@ from repro.corpus.synth import (
 )
 
 __all__ = [
+    "AppRunRecord",
     "AppSynthesizer",
+    "DEFAULT_TIMEOUT_S",
     "ELIMINATED_CATEGORIES",
     "FDROID_APP_COUNT",
     "FDROID_PAPER_MEDIANS",
     "GROUND_TRUTH_PREFIXES",
     "GroundTruth",
     "PaperAppRow",
+    "RunReport",
     "SynthSpec",
     "TRUE_CATEGORIES",
     "TWENTY_APPS",
@@ -51,9 +61,11 @@ __all__ = [
     "build_receiver_app",
     "classify_field",
     "classify_report_field",
+    "default_corpus",
     "fdroid_spec",
     "fdroid_specs",
     "generate_fdroid_corpus",
+    "run_corpus",
     "spec_for_paper_app",
     "synthesize_app",
     "twenty_app_specs",

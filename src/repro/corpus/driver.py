@@ -1,0 +1,386 @@
+"""Fault-isolated batch driver: ``repro corpus-analyze`` (§6 campaigns).
+
+The paper evaluates SIERRA over a 20-app corpus; a batch run over real
+apps must survive individual apps that crash the analysis, hang, or blow
+their path budget. This driver runs the full detector pipeline over every
+corpus app with **per-app fault isolation**:
+
+* each app runs in its own forked worker process under a wall-clock
+  timeout; a hung app is killed and recorded as ``timeout``, a crashed
+  one as ``error`` with the full traceback — the batch always continues;
+* the per-app :class:`repro.obs.Recorder` captures the detector's stage
+  events, warnings, and degradation signals (e.g. the refutation pool
+  falling back to serial) and ships them back to the parent;
+* the run emits a structured ``RUN_report.json`` (schema below) and a
+  meaningful exit code: 0 when every app is ``ok``, 1 otherwise.
+
+Statuses: ``ok`` (clean), ``degraded`` (completed, but a fallback path
+fired — exact results, lost parallelism), ``error`` (exception or dead
+worker), ``timeout`` (wall-clock budget exceeded).
+
+``--inject-fail`` / ``--inject-hang`` are first-class testing aids: fault
+isolation that is only exercised by real faults is fault isolation that
+has never been tested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import platform
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+
+#: JSON layout version of RUN_report.json
+SCHEMA = 1
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+#: generous per-app wall-clock budget: the largest synthetic app analyzes in
+#: under a second, so anything near this is a hang, not a slow app
+DEFAULT_TIMEOUT_S = 120.0
+
+#: seconds a terminated worker gets to die before escalating to SIGKILL
+_TERMINATE_GRACE_S = 5.0
+
+
+def default_corpus() -> List[str]:
+    """The full batch corpus: the figure apps plus all 20 Table 2 apps."""
+    # lazy import: repro.cli imports repro.corpus at module load
+    from repro.cli import _FIGURE_APPS
+    from repro.corpus.specs import TWENTY_APPS
+
+    return sorted(_FIGURE_APPS) + [f"paper:{row.name}" for row in TWENTY_APPS]
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+@dataclass
+class AppRunRecord:
+    """Outcome of one app's pipeline run inside the batch."""
+
+    app: str
+    status: str
+    elapsed_s: float = 0.0
+    stages: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    report: Dict[str, int] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+    degradations: List[str] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    #: {"type", "message", "traceback"} for error/timeout statuses
+    error: Optional[Dict[str, str]] = None
+    isolated: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "stages": dict(self.stages),
+            "counters": dict(self.counters),
+            "report": dict(self.report),
+            "warnings": list(self.warnings),
+            "degradations": list(self.degradations),
+            "events": list(self.events),
+            "error": dict(self.error) if self.error else None,
+            "isolated": self.isolated,
+        }
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one ``corpus-analyze`` batch."""
+
+    records: List[AppRunRecord] = field(default_factory=list)
+    timeout_s: float = DEFAULT_TIMEOUT_S
+    isolated: bool = True
+    options: Dict[str, object] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def by_status(self, status: str) -> List[AppRunRecord]:
+        return [r for r in self.records if r.status == status]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "total": len(self.records),
+            "ok": len(self.by_status(STATUS_OK)),
+            "degraded": len(self.by_status(STATUS_DEGRADED)),
+            "error": len(self.by_status(STATUS_ERROR)),
+            "timeout": len(self.by_status(STATUS_TIMEOUT)),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "exit_code": self.exit_code,
+        }
+
+    @property
+    def exit_code(self) -> int:
+        """0 iff every app completed cleanly; 1 on any error/timeout/degrade."""
+        return 0 if all(r.ok for r in self.records) else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "timeout_s": self.timeout_s,
+            "isolated": self.isolated,
+            "options": dict(self.options),
+            "apps": {r.app: r.to_dict() for r in self.records},
+            "summary": self.summary(),
+        }
+
+    def write(self, path: str) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# per-app execution (shared by the worker process and the inline fallback)
+# ----------------------------------------------------------------------
+def _execute_app(
+    name: str,
+    options_dict: Dict[str, object],
+    inject_fail: bool,
+    inject_hang_s: float,
+) -> Dict[str, object]:
+    """Run one app's pipeline; return the JSON-ready payload.
+
+    Raises whatever the pipeline raises — the caller decides whether that
+    crosses a process boundary (isolated mode) or a try/except (inline).
+    """
+    from repro.cli import load_app
+    from repro.core import Sierra, SierraOptions
+    from repro.perf import collect_counters, collect_stage_timings
+
+    with obs.Recorder() as recorder:
+        if inject_fail:
+            raise RuntimeError(f"injected failure for {name!r} (--inject-fail)")
+        if inject_hang_s > 0:
+            time.sleep(inject_hang_s)
+        apk = load_app(name)
+        result = Sierra(SierraOptions(**options_dict)).analyze(apk)
+    report = result.report
+    return {
+        "status": STATUS_DEGRADED if recorder.degraded else STATUS_OK,
+        "stages": collect_stage_timings(result),
+        "counters": collect_counters(result),
+        "report": {
+            "racy_pairs": report.racy_pairs,
+            "races_after_refutation": report.races_after_refutation,
+        },
+        "warnings": recorder.warnings(),
+        "degradations": recorder.degradations(),
+        "events": recorder.to_dicts(),
+    }
+
+
+def _error_payload(exc: BaseException) -> Dict[str, object]:
+    return {
+        "status": STATUS_ERROR,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        },
+    }
+
+
+def _run_app_worker(conn, name, options_dict, inject_fail, inject_hang_s) -> None:
+    """Forked worker: run one app, ship the payload through the pipe.
+
+    Catches *everything* (SystemExit from app loading included) — the
+    payload, not the exit code, is the parent's source of truth.
+    """
+    try:
+        payload = _execute_app(name, options_dict, inject_fail, inject_hang_s)
+    except BaseException as exc:  # noqa: BLE001 — isolation boundary
+        payload = _error_payload(exc)
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the batch driver
+# ----------------------------------------------------------------------
+def _run_one_isolated(
+    mp_context,
+    name: str,
+    options_dict: Dict[str, object],
+    timeout_s: float,
+    inject_fail: bool,
+    inject_hang_s: float,
+) -> AppRunRecord:
+    recv_conn, send_conn = mp_context.Pipe(duplex=False)
+    # NOT daemonic: a daemonic worker cannot fork the refutation pool, which
+    # would silently cost every isolated app its --parallelism. Cleanup is
+    # explicit instead (terminate/kill + join on every exit path below).
+    proc = mp_context.Process(
+        target=_run_app_worker,
+        args=(send_conn, name, options_dict, inject_fail, inject_hang_s),
+    )
+    t0 = time.perf_counter()
+    proc.start()
+    send_conn.close()  # parent's copy: the pipe must EOF when the worker dies
+
+    payload: Optional[Dict[str, object]] = None
+    timed_out = False
+    try:
+        if recv_conn.poll(timeout_s):
+            payload = recv_conn.recv()
+        else:
+            timed_out = True
+    except EOFError:
+        payload = None  # worker died before sending (hard crash)
+    elapsed = time.perf_counter() - t0
+
+    if timed_out:
+        proc.terminate()
+        proc.join(_TERMINATE_GRACE_S)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        record = AppRunRecord(
+            app=name,
+            status=STATUS_TIMEOUT,
+            error={
+                "type": "Timeout",
+                "message": f"exceeded the {timeout_s:g}s per-app wall-clock budget",
+                "traceback": "",
+            },
+        )
+    elif payload is None:
+        proc.join(_TERMINATE_GRACE_S)
+        record = AppRunRecord(
+            app=name,
+            status=STATUS_ERROR,
+            error={
+                "type": "WorkerDied",
+                "message": (
+                    f"app worker exited with code {proc.exitcode} "
+                    "before reporting a result"
+                ),
+                "traceback": "",
+            },
+        )
+    else:
+        proc.join(_TERMINATE_GRACE_S)
+        if proc.is_alive():  # sent its payload but wedged on the way out
+            proc.kill()
+            proc.join()
+        record = AppRunRecord(app=name, **_record_kwargs(payload))
+    recv_conn.close()
+    record.elapsed_s = elapsed
+    record.isolated = True
+    return record
+
+
+def _run_one_inline(
+    name: str,
+    options_dict: Dict[str, object],
+    inject_fail: bool,
+    inject_hang_s: float,
+) -> AppRunRecord:
+    t0 = time.perf_counter()
+    try:
+        payload = _execute_app(name, options_dict, inject_fail, inject_hang_s)
+    except Exception as exc:
+        payload = _error_payload(exc)
+    record = AppRunRecord(app=name, **_record_kwargs(payload))
+    record.elapsed_s = time.perf_counter() - t0
+    record.isolated = False
+    return record
+
+
+def _record_kwargs(payload: Dict[str, object]) -> Dict[str, object]:
+    allowed = {f.name for f in dataclasses.fields(AppRunRecord)} - {"app"}
+    return {k: v for k, v in payload.items() if k in allowed}
+
+
+def run_corpus(
+    apps: Optional[Sequence[str]] = None,
+    options=None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    isolate: bool = True,
+    out_path: Optional[str] = None,
+    inject_fail: Sequence[str] = (),
+    inject_hang: Sequence[str] = (),
+    progress: Optional[Callable[[AppRunRecord], None]] = None,
+) -> RunReport:
+    """Run the pipeline over ``apps`` (default: the full corpus).
+
+    One app per forked worker process under ``timeout_s``; a worker crash,
+    analysis exception, or hang is recorded on that app's
+    :class:`AppRunRecord` and the batch moves on. ``isolate=False`` (or a
+    platform without ``fork``) runs apps in-process instead — exceptions
+    are still caught per app, but timeouts are **not enforceable** and a
+    hard crash would take the batch down; the report says which mode ran.
+
+    ``inject_fail`` / ``inject_hang`` name apps whose worker raises /
+    sleeps past the budget before analysis — the fault-injection hooks the
+    acceptance tests (and operators validating a deployment) use.
+
+    Unknown app names fail the whole batch up front with :class:`ValueError`
+    — a batch that silently analyzed 19 of 20 requested apps is exactly the
+    accounting failure this driver exists to prevent.
+    """
+    from repro.cli import is_known_app
+    from repro.core import SierraOptions
+
+    names = list(apps) if apps else default_corpus()
+    unknown = [n for n in names if not is_known_app(n)]
+    if unknown:
+        raise ValueError(
+            "unknown corpus app(s): " + ", ".join(repr(n) for n in unknown)
+        )
+
+    options = options or SierraOptions()
+    options_dict = dataclasses.asdict(options)
+    hang_s = timeout_s + 30.0  # sleeps comfortably past the budget
+
+    mp_context = None
+    if isolate:
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            print(
+                "corpus-analyze: fork unavailable; running without process "
+                "isolation (timeouts not enforced)",
+                file=sys.stderr,
+            )
+
+    run = RunReport(
+        timeout_s=timeout_s, isolated=mp_context is not None, options=options_dict
+    )
+    t0 = time.perf_counter()
+    for name in names:
+        fail = name in inject_fail
+        hang = hang_s if name in inject_hang else 0.0
+        if mp_context is not None:
+            record = _run_one_isolated(
+                mp_context, name, options_dict, timeout_s, fail, hang
+            )
+        else:
+            record = _run_one_inline(name, options_dict, fail, hang)
+        run.records.append(record)
+        if progress is not None:
+            progress(record)
+    run.elapsed_s = time.perf_counter() - t0
+    if out_path:
+        run.write(out_path)
+    return run

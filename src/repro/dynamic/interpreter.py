@@ -361,6 +361,13 @@ class _ReturnMarker:
 _RETURN = _ReturnMarker()
 
 
+#: what app-level values can legitimately throw at us: mixed-type arithmetic
+#: or comparison on heap values (``"s" + 1``), division edge cases. Anything
+#: outside this set is an interpreter bug and must propagate — a bare
+#: ``except Exception`` here used to make such bugs look like app behavior.
+_VALUE_ERRORS = (TypeError, ValueError, ZeroDivisionError, OverflowError)
+
+
 def _binop(op: BinOp, lhs: Any, rhs: Any) -> Any:
     try:
         if op is BinOp.ADD:
@@ -374,8 +381,8 @@ def _binop(op: BinOp, lhs: Any, rhs: Any) -> Any:
         if op is BinOp.AND:
             return bool(lhs) and bool(rhs)
         return bool(lhs) or bool(rhs)
-    except Exception:
-        return None
+    except _VALUE_ERRORS:
+        return None  # unknown concrete value, like an uninitialised field
 
 
 def _safe_cmp(op: CmpOp, lhs: Any, rhs: Any) -> bool:
@@ -385,5 +392,5 @@ def _safe_cmp(op: CmpOp, lhs: Any, rhs: Any) -> bool:
         if lhs is None or rhs is None:
             return False
         return op.evaluate(lhs, rhs)
-    except Exception:
+    except _VALUE_ERRORS:
         return False

@@ -1,0 +1,36 @@
+"""Observability: stage-event hooks and structured run diagnostics.
+
+See :mod:`repro.obs.diagnostics` and ``docs/operations.md``.
+"""
+
+from repro.obs.diagnostics import (
+    DEGRADED,
+    Recorder,
+    RunEvent,
+    STAGE_END,
+    STAGE_START,
+    StageTimer,
+    WARNING,
+    add_hook,
+    emit,
+    emit_degraded,
+    emit_warning,
+    remove_hook,
+    stage,
+)
+
+__all__ = [
+    "DEGRADED",
+    "Recorder",
+    "RunEvent",
+    "STAGE_END",
+    "STAGE_START",
+    "StageTimer",
+    "WARNING",
+    "add_hook",
+    "emit",
+    "emit_degraded",
+    "emit_warning",
+    "remove_hook",
+    "stage",
+]

@@ -1,0 +1,171 @@
+"""Run diagnostics: structured stage events, warnings, and degradation.
+
+The detector and its substrates report what happened through a tiny
+hook bus instead of ``print`` or — worse — silence:
+
+* the pipeline wraps each Table 4 stage in :func:`stage`, which emits a
+  ``stage_start``/``stage_end`` event pair with wall-clock seconds;
+* fallback paths that *lose* something (a crashed refutation worker pool
+  degrading to serial, a retry) emit ``warning`` / ``degraded`` events
+  via :func:`emit_warning` / :func:`emit_degraded` instead of a bare
+  ``except Exception: pass``.
+
+Consumers install a callback with :func:`add_hook` (or the
+:class:`Recorder` context manager, which collects events into a
+JSON-ready list). With no hooks installed, emitting is a no-op — the
+analysis pays one list lookup per event. Hook exceptions are **not**
+swallowed: a broken consumer should fail loudly, exactly like the
+producer paths this module exists to de-silence.
+
+The corpus driver (``repro corpus-analyze``) installs a
+:class:`Recorder` around each per-app run and ships the events back to
+the parent process as the app's entry in ``RUN_report.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+#: event kinds, in the order a consumer will typically see them
+STAGE_START = "stage_start"
+STAGE_END = "stage_end"
+WARNING = "warning"
+DEGRADED = "degraded"
+
+
+@dataclass
+class RunEvent:
+    """One diagnostic event fired by the pipeline."""
+
+    kind: str  # STAGE_START | STAGE_END | WARNING | DEGRADED
+    stage: Optional[str] = None  # "cg_pa" | "hbg" | "refutation" | ...
+    message: str = ""
+    seconds: Optional[float] = None  # STAGE_END only
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.stage is not None:
+            out["stage"] = self.stage
+        if self.message:
+            out["message"] = self.message
+        if self.seconds is not None:
+            out["seconds"] = round(self.seconds, 4)
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+
+Hook = Callable[[RunEvent], None]
+
+_hooks: List[Hook] = []
+
+
+def add_hook(hook: Hook) -> None:
+    """Install ``hook``; it receives every subsequent :class:`RunEvent`."""
+    _hooks.append(hook)
+
+
+def remove_hook(hook: Hook) -> None:
+    """Uninstall ``hook`` (no-op if it is not installed)."""
+    try:
+        _hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+def emit(event: RunEvent) -> None:
+    """Deliver ``event`` to every installed hook, in installation order."""
+    for hook in list(_hooks):
+        hook(event)
+
+
+def emit_warning(message: str, stage: Optional[str] = None, **detail: object) -> None:
+    """A recoverable anomaly the operator should see (e.g. a retry)."""
+    emit(RunEvent(kind=WARNING, stage=stage, message=message, detail=detail))
+
+
+def emit_degraded(message: str, stage: Optional[str] = None, **detail: object) -> None:
+    """The run continued but lost something (e.g. parallel -> serial)."""
+    emit(RunEvent(kind=DEGRADED, stage=stage, message=message, detail=detail))
+
+
+@dataclass
+class StageTimer:
+    """Yielded by :func:`stage`; ``seconds`` is final once the block exits."""
+
+    name: str
+    seconds: float = 0.0
+
+
+@contextmanager
+def stage(name: str, **detail: object) -> Iterator[StageTimer]:
+    """Time a pipeline stage, emitting start/end events around the block.
+
+    The ``stage_end`` event is emitted even when the block raises (with the
+    partial duration), so a consumer always sees where a run died.
+    """
+    timer = StageTimer(name=name)
+    emit(RunEvent(kind=STAGE_START, stage=name, detail=dict(detail)))
+    t0 = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - t0
+        emit(
+            RunEvent(
+                kind=STAGE_END, stage=name, seconds=timer.seconds, detail=dict(detail)
+            )
+        )
+
+
+class Recorder:
+    """Collects every event emitted while installed (also a context manager).
+
+    >>> with Recorder() as rec:
+    ...     run_pipeline()
+    >>> rec.warnings()
+    ['refutation worker pool crashed ...']
+    """
+
+    def __init__(self) -> None:
+        self.events: List[RunEvent] = []
+
+    # -- hook protocol -------------------------------------------------
+    def __call__(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    def __enter__(self) -> "Recorder":
+        add_hook(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        remove_hook(self)
+
+    # -- views ---------------------------------------------------------
+    def of_kind(self, kind: str) -> List[RunEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def warnings(self) -> List[str]:
+        return [e.message for e in self.of_kind(WARNING)]
+
+    def degradations(self) -> List[str]:
+        return [e.message for e in self.of_kind(DEGRADED)]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.of_kind(DEGRADED))
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall clock from the ``stage_end`` events (last wins)."""
+        out: Dict[str, float] = {}
+        for event in self.of_kind(STAGE_END):
+            if event.stage is not None and event.seconds is not None:
+                out[event.stage] = event.seconds
+        return out
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [event.to_dict() for event in self.events]

@@ -9,6 +9,8 @@ from repro.perf.bench import (
     bench_app,
     bench_hbg,
     bench_pointsto,
+    collect_counters,
+    collect_stage_timings,
     compare_to_baseline,
     run_bench,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "bench_app",
     "bench_hbg",
     "bench_pointsto",
+    "collect_counters",
+    "collect_stage_timings",
     "compare_to_baseline",
     "run_bench",
 ]

@@ -57,10 +57,23 @@ def _load_app(name: str):
 # ----------------------------------------------------------------------
 # pipeline benching
 # ----------------------------------------------------------------------
-def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:
-    """Run the pipeline once and record stage timings + effort counters."""
-    apk = _load_app(name)
-    result = Sierra(options or SierraOptions()).analyze(apk)
+def collect_stage_timings(result) -> Dict[str, float]:
+    """Per-stage wall clock of a :class:`~repro.core.SierraResult`."""
+    report = result.report
+    return {
+        "cg_pa": round(report.time_cg_pa, 4),
+        "hbg": round(report.time_hbg, 4),
+        "refutation": round(report.time_refutation, 4),
+        "total": round(report.time_total, 4),
+    }
+
+
+def collect_counters(result) -> Dict[str, int]:
+    """Substrate effort counters of a :class:`~repro.core.SierraResult`.
+
+    Shared by the bench harness and the ``corpus-analyze`` batch driver so
+    both emit the same counter vocabulary.
+    """
     report = result.report
     ext = result.extraction
     worklist_iterations = 0
@@ -69,21 +82,24 @@ def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, o
             worklist_iterations += getattr(pts, "worklist_iterations", 0)
     refutation = report.refutation_stats
     return {
-        "stages": {
-            "cg_pa": round(report.time_cg_pa, 4),
-            "hbg": round(report.time_hbg, 4),
-            "refutation": round(report.time_refutation, 4),
-            "total": round(report.time_total, 4),
-        },
-        "counters": {
-            "harnesses": report.harnesses,
-            "actions": report.actions,
-            "hb_edges": report.hb_edges,
-            "closure_ops": result.shbg.closure.ops,
-            "pointsto_worklist_iterations": worklist_iterations,
-            "refutation_nodes_expanded": refutation.get("nodes_expanded", 0),
-            "refutation_cache_hits": refutation.get("cache_hits", 0),
-        },
+        "harnesses": report.harnesses,
+        "actions": report.actions,
+        "hb_edges": report.hb_edges,
+        "closure_ops": result.shbg.closure.ops,
+        "pointsto_worklist_iterations": worklist_iterations,
+        "refutation_nodes_expanded": refutation.get("nodes_expanded", 0),
+        "refutation_cache_hits": refutation.get("cache_hits", 0),
+    }
+
+
+def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:
+    """Run the pipeline once and record stage timings + effort counters."""
+    apk = _load_app(name)
+    result = Sierra(options or SierraOptions()).analyze(apk)
+    report = result.report
+    return {
+        "stages": collect_stage_timings(result),
+        "counters": collect_counters(result),
         "report": {
             "racy_pairs": report.racy_pairs,
             "races_after_refutation": report.races_after_refutation,

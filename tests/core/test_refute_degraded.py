@@ -1,0 +1,117 @@
+"""Worker-pool failure must degrade loudly, retry once, and stay exact.
+
+These patch ``repro.core.refute._refute_chunk`` — the function the forked
+workers execute — to crash, which is precisely the "bug in the worker
+itself" case the old ``except Exception: return None`` used to swallow.
+Fork-based workers inherit the patched module, so the crash happens on the
+real process-pool path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import RefutationEngine, WorkerPoolError
+from repro.core import refute as refute_mod
+
+
+def _crashing_chunk(chunk_index):
+    raise RuntimeError(f"injected worker crash in chunk {chunk_index}")
+
+
+_real_chunk = refute_mod._refute_chunk
+
+#: flag-file path for the transient-crash scenario; the forked workers
+#: inherit the patched value, and the file is how attempt 1 tells attempt 2's
+#: fresh workers that the crash already happened
+_FLAKY_FLAG = ""
+
+
+def _flaky_chunk(chunk_index):
+    import os
+
+    if not os.path.exists(_FLAKY_FLAG):
+        open(_FLAKY_FLAG, "w").close()
+        raise RuntimeError("transient worker crash")
+    return _real_chunk(chunk_index)
+
+
+@pytest.fixture()
+def engine_and_pairs(small_synth_result):
+    result = small_synth_result
+    engine = RefutationEngine(result.extraction)
+    return engine, result.racy_pairs
+
+
+class TestLoudDegradation:
+    def test_worker_crash_falls_back_to_serial_with_identical_results(
+        self, engine_and_pairs, monkeypatch
+    ):
+        engine, pairs = engine_and_pairs
+        serial = RefutationEngine(engine.ext).refute_all(pairs, parallelism=1)
+
+        monkeypatch.setattr(refute_mod, "_refute_chunk", _crashing_chunk)
+        with obs.Recorder() as rec:
+            degraded = engine.refute_all(pairs, parallelism=3)
+
+        assert degraded.degraded
+        assert "injected worker crash" in degraded.degraded_reason
+        # the serial fallback is the reference implementation: same verdicts
+        assert [r.is_race for r in degraded.results] == [
+            r.is_race for r in serial.results
+        ]
+        assert [r.pair for r in degraded.results] == [r.pair for r in serial.results]
+        # stats match serial except for the degraded flag itself
+        expect = dict(serial.stats(), degraded=1)
+        assert degraded.stats() == expect
+
+    def test_crash_is_retried_once_then_degrades(self, engine_and_pairs, monkeypatch):
+        engine, pairs = engine_and_pairs
+        monkeypatch.setattr(refute_mod, "_refute_chunk", _crashing_chunk)
+        with obs.Recorder() as rec:
+            engine.refute_all(pairs, parallelism=2)
+        # one warning per attempt, then the degraded event
+        assert len(rec.warnings()) == 2
+        assert "attempt 1/2" in rec.warnings()[0]
+        assert "attempt 2/2" in rec.warnings()[1]
+        assert len(rec.degradations()) == 1
+        assert "degraded to serial" in rec.degradations()[0]
+
+    def test_transient_crash_recovers_without_degrading(
+        self, engine_and_pairs, monkeypatch, tmp_path
+    ):
+        engine, pairs = engine_and_pairs
+        import sys
+
+        monkeypatch.setattr(
+            sys.modules[__name__], "_FLAKY_FLAG", str(tmp_path / "crashed-once")
+        )
+        monkeypatch.setattr(refute_mod, "_refute_chunk", _flaky_chunk)
+        with obs.Recorder() as rec:
+            summary = engine.refute_all(pairs, parallelism=2)
+        # attempt 1 crashes (one warning), the retry succeeds: no degradation
+        assert len(rec.warnings()) == 1
+        assert "attempt 1/2" in rec.warnings()[0]
+        assert not rec.degradations()
+        assert not summary.degraded
+        serial = RefutationEngine(engine.ext).refute_all(pairs, parallelism=1)
+        assert summary.stats() == serial.stats()
+
+    def test_worker_pool_error_carries_cause_traceback(
+        self, engine_and_pairs, monkeypatch
+    ):
+        engine, pairs = engine_and_pairs
+        monkeypatch.setattr(refute_mod, "_refute_chunk", _crashing_chunk)
+        with pytest.raises(WorkerPoolError) as excinfo:
+            refute_mod._refute_parallel(engine.ext, pairs, 5000, 2, 2)
+        err = excinfo.value
+        assert isinstance(err.cause, RuntimeError)
+        assert "injected worker crash" in err.cause_traceback
+
+    def test_serial_path_never_degrades(self, engine_and_pairs):
+        engine, pairs = engine_and_pairs
+        summary = engine.refute_all(pairs, parallelism=1)
+        assert not summary.degraded
+        assert summary.degraded_reason is None
+        assert summary.stats()["degraded"] == 0

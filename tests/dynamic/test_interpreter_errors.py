@@ -1,0 +1,57 @@
+"""Value-level error handling in the interpreter's evaluators.
+
+``_binop``/``_safe_cmp`` absorb only the exceptions app-level heap values
+can legitimately produce (mixed-type arithmetic, bad comparisons). Anything
+else is an interpreter bug and must propagate — the old bare
+``except Exception`` made such bugs look like app behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic.interpreter import _binop, _safe_cmp
+from repro.ir.instructions import BinOp, CmpOp
+
+
+class _Poisoned:
+    """A value whose operators raise a non-value error (a stand-in for an
+    interpreter bug leaking through an operand)."""
+
+    def __add__(self, other):
+        raise MemoryError("interpreter bug")
+
+    def __lt__(self, other):
+        raise MemoryError("interpreter bug")
+
+    def __eq__(self, other):
+        raise MemoryError("interpreter bug")
+
+    __hash__ = object.__hash__
+
+
+class TestBinop:
+    def test_mixed_types_evaluate_to_unknown(self):
+        assert _binop(BinOp.ADD, "s", 1) is None
+        assert _binop(BinOp.SUB, "s", "t") is None
+
+    def test_none_operands_coerce(self):
+        assert _binop(BinOp.ADD, None, 2) == 2
+        assert _binop(BinOp.DIV, 4, None) == 4  # rhs None -> divides by 1
+
+    def test_unexpected_exceptions_propagate(self):
+        with pytest.raises(MemoryError, match="interpreter bug"):
+            _binop(BinOp.ADD, _Poisoned(), 1)
+
+
+class TestSafeCmp:
+    def test_incomparable_types_compare_false(self):
+        assert _safe_cmp(CmpOp.LT, "s", 1) is False
+
+    def test_none_short_circuits_ordered_comparisons(self):
+        assert _safe_cmp(CmpOp.GT, None, 1) is False
+        assert _safe_cmp(CmpOp.EQ, None, None) is True
+
+    def test_unexpected_exceptions_propagate(self):
+        with pytest.raises(MemoryError, match="interpreter bug"):
+            _safe_cmp(CmpOp.EQ, _Poisoned(), 1)

@@ -65,6 +65,30 @@ class TestSubstrateBenches:
         assert record["stages"]["total"] >= record["stages"]["cg_pa"]
 
 
+class TestCorpusAnalyzeSmoke:
+    """Every PR exercises the batch driver + RUN_report schema (satellite of
+    the fault-isolation work; see docs/operations.md)."""
+
+    def test_small_subset_batch_run(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "RUN_report.json"
+        code = main(
+            ["corpus-analyze", "--apps", "quickstart", "dbapp",
+             "--out", str(out), "--timeout", "60"]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["summary"]["ok"] == data["summary"]["total"] == 2
+        for record in data["apps"].values():
+            assert record["status"] == "ok"
+            assert set(record["stages"]) >= {"cg_pa", "hbg", "refutation"}
+            assert record["counters"]["actions"] > 0
+
+
 class TestRegressionGate:
     @staticmethod
     def _record(cg_pa, hbg):

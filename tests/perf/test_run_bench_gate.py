@@ -1,0 +1,68 @@
+"""The bench gate's failure modes must be one clear line, not a traceback."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("run_bench_gate", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGateFailureMessages:
+    def test_missing_baseline(self, gate, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert gate.main(["--baseline", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "no baseline" in err and "--update" in err
+
+    def test_corrupt_baseline(self, gate, tmp_path, capsys):
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("not json {")
+        assert gate.main(["--baseline", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_baseline_with_vanished_app(self, gate, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps(
+            {"apps": {"paper:Gone App": {"stages": {"cg_pa": 1.0}}}}
+        ))
+        assert gate.main(["--baseline", str(stale)]) == 2
+        err = capsys.readouterr().err
+        assert "no longer in the corpus" in err
+        assert "paper:Gone App" in err
+        assert "Traceback" not in err
+
+    def test_baseline_without_apps(self, gate, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"apps": {}}))
+        assert gate.main(["--baseline", str(empty)]) == 2
+        assert "records no apps" in capsys.readouterr().err
+
+
+class TestGateRuns:
+    def test_gate_benches_the_baseline_apps(self, gate, tmp_path, capsys):
+        # a tiny baseline: the gate must bench exactly this app and pass
+        # (generous numbers: nothing can regress 2x above them)
+        baseline = tmp_path / "tiny.json"
+        baseline.write_text(json.dumps(
+            {"apps": {"quickstart": {"stages": {"cg_pa": 60.0, "hbg": 60.0,
+                                                "refutation": 60.0,
+                                                "total": 180.0}}}}
+        ))
+        assert gate.main(["--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "paper:APV" not in out  # not the default suite: baseline-driven
