@@ -11,6 +11,11 @@ speedup measurement so the whole run stays under a minute), then fails with
 exit code 1 if any stage of any app regressed more than 2x against the
 committed ``BENCH_pipeline.json``. ``--update`` instead re-runs the full
 suite — substrate speedups included — and rewrites the baseline in place.
+
+The gate also runs one traced pipeline and validates the emitted Chrome
+trace-event JSON (required keys, monotonic per-track timestamps, balanced
+B/E pairs) — exit code 2 if the tracing subsystem ever emits a file
+``chrome://tracing`` would choke on.
 """
 
 from __future__ import annotations
@@ -18,16 +23,45 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.cli import is_known_app  # noqa: E402
+from repro.cli import is_known_app, load_app  # noqa: E402
 from repro.perf import compare_to_baseline, run_bench  # noqa: E402
 
 BASELINE = REPO_ROOT / "BENCH_pipeline.json"
+
+#: app the trace-schema gate runs on: small enough to stay under a second
+TRACE_APP = "opensudoku"
+
+
+def validate_trace_gate(app: str = TRACE_APP) -> list:
+    """Run one traced pipeline and validate the emitted Chrome trace.
+
+    Returns the violation list from
+    :func:`repro.obs.validate_trace_file` — empty means the trace loads
+    cleanly in chrome://tracing / Perfetto.
+    """
+    from repro import obs
+    from repro.core import Sierra, SierraOptions
+
+    collector = obs.TraceCollector(process_name=f"sierra:{app}")
+    obs.add_hook(collector)
+    try:
+        Sierra(SierraOptions()).analyze(load_app(app))
+    finally:
+        obs.remove_hook(collector)
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        trace_path = fh.name
+    try:
+        collector.write(trace_path)
+        return obs.validate_trace_file(trace_path)
+    finally:
+        Path(trace_path).unlink(missing_ok=True)
 
 
 def main(argv=None) -> int:
@@ -71,6 +105,13 @@ def main(argv=None) -> int:
         print(f"error: baseline app(s) no longer in the corpus: "
               f"{', '.join(unknown)}; run with --update to re-record",
               file=sys.stderr)
+        return 2
+
+    trace_violations = validate_trace_gate()
+    if trace_violations:
+        print("MALFORMED TRACE (Chrome trace-event schema):", file=sys.stderr)
+        for violation in trace_violations:
+            print(f"  {violation}", file=sys.stderr)
         return 2
 
     current = run_bench(apps=baseline_apps, speedup_app=None, out_path=None)

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.analysis.callgraph import CallGraph, EdgeVia, MethodContext
 from repro.android.framework import (
     ASYNC_EXECUTE_APIS,
@@ -335,28 +336,49 @@ class PointerAnalysis:
         while changed and self.passes_run < self.MAX_PASSES:
             changed = False
             self.passes_run += 1
-            for mc in list(self._reachable):
-                if self._process_method(mc):
-                    changed = True
+            with obs.span("pointsto.pass", n=self.passes_run) as sp:
+                for mc in list(self._reachable):
+                    if self._process_method(mc):
+                        changed = True
+                sp.set(reachable=len(self._reachable))
+        obs.metrics.counter(
+            "pointsto.passes", "whole-program passes to the points-to fixpoint"
+        ).inc(self.passes_run)
         return PointsToResult(self)
 
     def _solve_worklist(self) -> PointsToResult:
+        """Drain the worklist to the fixpoint, one obs span per *round*.
+
+        A round is the units queued when it starts; work they enqueue
+        lands in later rounds. The queue is drained in exactly the same
+        FIFO order as the single flat loop — the round boundary is pure
+        observation (how far the delta wave has propagated), not a
+        scheduling change.
+        """
         for mc in self._reachable:
             self._enqueue((mc, None))
         queue = self._queue
+        round_no = 0
         while queue:
-            unit = queue.popleft()
-            self._queued.discard(unit)
-            self.worklist_iterations += 1
-            mc, index = unit
-            try:
-                if index is None:
-                    self._process_method(mc)
-                else:
-                    self._current = unit
-                    self._process_instruction(mc, index, mc.method.body[index])
-            finally:
-                self._current = None
+            round_no += 1
+            batch = len(queue)
+            with obs.span("pointsto.round", n=round_no, units=batch):
+                for _ in range(batch):
+                    unit = queue.popleft()
+                    self._queued.discard(unit)
+                    self.worklist_iterations += 1
+                    mc, index = unit
+                    try:
+                        if index is None:
+                            self._process_method(mc)
+                        else:
+                            self._current = unit
+                            self._process_instruction(mc, index, mc.method.body[index])
+                    finally:
+                        self._current = None
+        obs.metrics.counter(
+            "pointsto.worklist_iterations", "delta-worklist units processed"
+        ).inc(self.worklist_iterations)
         return PointsToResult(self)
 
     def _process_method(self, mc: MethodContext) -> bool:

@@ -23,8 +23,9 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.android.apk import Apk
-from repro.core import Sierra, SierraOptions, format_table
+from repro.core import Sierra, SierraOptions, format_table, render_evidence_tree
 from repro.corpus import (
     TWENTY_APPS,
     build_newsreader_app,
@@ -50,7 +51,8 @@ def load_app(name: str) -> Apk:
     if name in _FIGURE_APPS:
         return _FIGURE_APPS[name]()
     if name.startswith("paper:"):
-        wanted = name[len("paper:") :]
+        # shell-friendly: ``paper:K-9_Mail`` == ``paper:K-9 Mail``
+        wanted = name[len("paper:") :].replace("_", " ")
         for spec in twenty_app_specs():
             if spec.name.lower() == wanted.lower():
                 apk, _truth = synthesize_app(spec)
@@ -77,7 +79,7 @@ def is_known_app(name: str) -> bool:
     if name in _FIGURE_APPS:
         return True
     if name.startswith("paper:"):
-        wanted = name[len("paper:") :].lower()
+        wanted = name[len("paper:") :].replace("_", " ").lower()
         return any(row.name.lower() == wanted for row in TWENTY_APPS)
     if name.startswith("fdroid:"):
         try:
@@ -99,13 +101,49 @@ def _options_from(args: argparse.Namespace) -> SierraOptions:
     )
 
 
+class _TraceSession:
+    """Context manager wiring ``--trace`` / ``--trace-memory`` around a run:
+    installs a :class:`TraceCollector` hook, optionally enables per-span
+    memory capture, and writes the Chrome trace-event file on exit."""
+
+    def __init__(self, path: Optional[str], memory: bool, app: str):
+        self.path = path
+        self.memory = memory
+        self.app = app
+        self.collector: Optional[obs.TraceCollector] = None
+
+    def __enter__(self) -> "_TraceSession":
+        if self.path:
+            self.collector = obs.TraceCollector(process_name=f"sierra:{self.app}")
+            obs.add_hook(self.collector)
+            if self.memory:
+                obs.set_memory_capture(True)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.collector is None:
+            return
+        obs.remove_hook(self.collector)
+        if self.memory:
+            obs.set_memory_capture(False)
+        if exc[0] is None:
+            self.collector.write(self.path)
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
 def cmd_analyze(args: argparse.Namespace) -> int:
     apk = load_app(args.app)
-    result = Sierra(_options_from(args)).analyze(apk)
+    with _TraceSession(args.trace, args.trace_memory, apk.name) as trace:
+        result = Sierra(_options_from(args)).analyze(apk)
     report = result.report
+    if trace.collector is not None:
+        print(
+            f"wrote {args.trace} ({len(trace.collector.events)} events; "
+            "load in chrome://tracing or https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
 
     if args.json:
         import json
@@ -160,6 +198,34 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             f"\nground truth: {true_n} true, {len(report.reports) - true_n} "
             "false positives"
         )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the evidence tree behind one reported race (the provenance
+    block the detector attaches to every ranked report)."""
+    apk = load_app(args.app)
+    result = Sierra(_options_from(args)).analyze(apk)
+    reports = result.report.reports
+    wanted = args.race_id
+    try:
+        rank = int(wanted)
+        matches = [r for r in reports if r.rank == rank]
+        hint = f"use a rank 1..{len(reports)} or a field name"
+    except ValueError:
+        matches = [r for r in reports if r.field_name == wanted]
+        hint = "use a reported field name or a rank; see `repro analyze`"
+    if not matches:
+        print(
+            f"explain: no reported race matches {wanted!r} on {apk.name} "
+            f"({len(reports)} reports; {hint})",
+            file=sys.stderr,
+        )
+        return 2
+    for i, report in enumerate(matches):
+        if i:
+            print()
+        print(render_evidence_tree(report))
     return 0
 
 
@@ -328,8 +394,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="score reports against synthetic ground truth")
     analyze.add_argument("--json", action="store_true",
                          help="emit the full report as JSON")
+    analyze.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome trace-event file of the run "
+                         "(open in chrome://tracing or ui.perfetto.dev)")
+    analyze.add_argument("--trace-memory", action="store_true",
+                         help="capture peak-RSS (and tracemalloc, when "
+                         "tracing) per span in the trace")
     add_analysis_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the evidence tree for one reported race "
+        "(HB gap, aliasing facts, refutation verdicts)",
+    )
+    explain.add_argument("app")
+    explain.add_argument("race_id",
+                         help="report rank (1-based, as printed by analyze) "
+                         "or racy field name")
+    add_analysis_flags(explain)
+    explain.set_defaults(func=cmd_explain)
 
     compare = sub.add_parser("compare", help="static vs dynamic baseline")
     compare.add_argument("app")

@@ -7,6 +7,12 @@ from repro.core.extract import ActionExtractor, Extraction, extract_actions
 from repro.core.harness import HarnessGenerator, HarnessModel, HarnessSite, NONDET, generate_harnesses
 from repro.core.hb import FIFO_POST_APIS, HBBuilder, HBEdge, SHBG, build_shbg
 from repro.core.prioritize import is_benign_guard, rank_races
+from repro.core.provenance import (
+    RaceProvenance,
+    attach_provenance,
+    build_provenance,
+    render_evidence_tree,
+)
 from repro.core.races import DATA_RACE, EVENT_RACE, RacyPair, find_racy_pairs, racy_pair_stats
 from repro.core.refute import RefutationEngine, RefutationResult, RefutationSummary, WorkerPoolError, refute_races
 from repro.core.report import RaceReport, SierraReport, format_table, median
@@ -29,6 +35,7 @@ __all__ = [
     "Location",
     "NONDET",
     "READ",
+    "RaceProvenance",
     "RaceReport",
     "RacyPair",
     "RefutationEngine",
@@ -43,6 +50,8 @@ __all__ = [
     "WorkerPoolError",
     "accesses_by_location",
     "analyze_apk",
+    "attach_provenance",
+    "build_provenance",
     "build_shbg",
     "collect_accesses",
     "extract_actions",
@@ -54,4 +63,5 @@ __all__ = [
     "racy_pair_stats",
     "rank_races",
     "refute_races",
+    "render_evidence_tree",
 ]

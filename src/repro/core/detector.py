@@ -31,6 +31,7 @@ from repro.core.extract import Extraction, extract_actions
 from repro.core.harness import HarnessModel, generate_harnesses
 from repro.core.hb import SHBG, build_shbg
 from repro.core.prioritize import rank_races
+from repro.core.provenance import attach_provenance
 from repro.core.races import RacyPair, find_racy_pairs
 from repro.core.refute import RefutationEngine
 from repro.core.report import RaceReport, SierraReport
@@ -78,6 +79,7 @@ class Sierra:
     def analyze(self, apk: Apk) -> SierraResult:
         opts = self.options
         report = SierraReport(app=apk.name)
+        obs.metrics.reset_run()  # one scrape window per analyze()
 
         with obs.stage("cg_pa", app=apk.name) as timer:
             harness = generate_harnesses(apk)
@@ -101,6 +103,7 @@ class Sierra:
             report.racy_pairs_no_as = self._racy_pairs_without_as(apk, harness)
 
         with obs.stage("refutation", app=apk.name) as timer:
+            summary = None
             if opts.refute:
                 engine = RefutationEngine(
                     extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
@@ -120,6 +123,14 @@ class Sierra:
         report.races_after_refutation = len(surviving)
         report.edges_by_rule = shbg.edges_by_rule()
         report.reports = rank_races(extraction, surviving)
+        attach_provenance(
+            report.reports,
+            extraction,
+            shbg,
+            results=summary.results if summary is not None else None,
+        )
+
+        self._record_gauges(report)
 
         return SierraResult(
             report=report,
@@ -129,6 +140,24 @@ class Sierra:
             surviving=surviving,
             harness=harness,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_gauges(report: SierraReport) -> None:
+        """Publish pipeline outputs to the metrics registry: the single
+        source of truth bench/corpus reports scrape."""
+        gauges = {
+            "sierra.harnesses": (report.harnesses, "generated harnesses"),
+            "sierra.actions": (report.actions, "extracted actions"),
+            "sierra.hb_edges": (report.hb_edges, "SHBG happens-before edges"),
+            "sierra.racy_pairs": (report.racy_pairs, "candidate racy pairs"),
+            "sierra.races_reported": (
+                report.races_after_refutation,
+                "races surviving refutation",
+            ),
+        }
+        for name, (value, help_text) in gauges.items():
+            obs.metrics.gauge(name, help_text).set(value)
 
     # ------------------------------------------------------------------
     def _racy_pairs_without_as(self, apk: Apk, harness: HarnessModel) -> int:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.analysis.icfg import ActionICFG
 from repro.core.actions import Action, ActionKind
 from repro.core.extract import Extraction
@@ -117,6 +118,69 @@ class SHBG:
             counts[edge.rule] = counts.get(edge.rule, 0) + 1
         return counts
 
+    # -- provenance queries (repro explain / report provenance blocks) --
+    def _direct_successors(self) -> Dict[int, List[HBEdge]]:
+        adjacency: Dict[int, List[HBEdge]] = {}
+        for edge in self.direct_edges:
+            adjacency.setdefault(edge.src, []).append(edge)
+        return adjacency
+
+    def rule_path(self, src: int, dst: int) -> Optional[List[HBEdge]]:
+        """A shortest rule-labeled derivation of ``src ≺ dst`` over the
+        direct edges, or None when the pair is not so ordered.
+
+        This is the evidence behind a closure bit: the chain of rule
+        applications (BFS, so the fewest-hops chain) that proves the
+        ordering.
+        """
+        if src == dst or not self.ordered(src, dst):
+            return None
+        adjacency = self._direct_successors()
+        frontier = [src]
+        came_from: Dict[int, HBEdge] = {}
+        seen = {src}
+        while frontier:
+            nxt: List[int] = []
+            for node in frontier:
+                for edge in adjacency.get(node, ()):
+                    if edge.dst in seen:
+                        continue
+                    seen.add(edge.dst)
+                    came_from[edge.dst] = edge
+                    if edge.dst == dst:
+                        path: List[HBEdge] = []
+                        cursor = dst
+                        while cursor != src:
+                            step = came_from[cursor]
+                            path.append(step)
+                            cursor = step.src
+                        path.reverse()
+                        return path
+                    nxt.append(edge.dst)
+            frontier = nxt
+        return None  # ordered transitively but not derivable: should not happen
+
+    def common_ancestors(self, a: int, b: int) -> List[int]:
+        """Actions ordered before *both* a and b (the candidate fork points
+        an unordered pair diverged from), in action-id order."""
+        return [
+            action.id
+            for action in self.actions
+            if self.ordered(action.id, a) and self.ordered(action.id, b)
+        ]
+
+    def fork_points(self, a: int, b: int) -> List[int]:
+        """The *latest* common ancestors of a and b: common ancestors with
+        no other common ancestor ordered after them. For a racy pair these
+        are where control provably diverged without ever re-ordering."""
+        ancestors = self.common_ancestors(a, b)
+        pool = set(ancestors)
+        return [
+            c
+            for c in ancestors
+            if not any(self.ordered(c, other) for other in pool if other != c)
+        ]
+
 
 class HBBuilder:
     """Builds the SHBG for one extraction."""
@@ -137,13 +201,30 @@ class HBBuilder:
 
     # ------------------------------------------------------------------
     def build(self) -> SHBG:
-        self._rule1_action_invocation()
-        self._rule23_harness_dominance()
-        self._rule2c_activity_launch()
-        self._rule3b_gui_visibility()
-        self._rule4_intraprocedural()
-        self._rule5_interprocedural()
-        self._rule6_fixpoint()
+        """Apply the rules in order, one obs span per rule application.
+
+        Each span's closing event carries the number of direct edges the
+        rule contributed — the per-rule breakdown a trace viewer shows
+        under the ``hbg`` stage. Closure effort lands on the
+        ``hb.closure_ops`` counter (the bench/driver counter vocabulary).
+        """
+        rules = (
+            ("R1-invocation", self._rule1_action_invocation),
+            ("R2+R3-harness-dominance", self._rule23_harness_dominance),
+            ("R2c-launch", self._rule2c_activity_launch),
+            ("R3b-visibility", self._rule3b_gui_visibility),
+            ("R4-intra-dom", self._rule4_intraprocedural),
+            ("R5-defacto-dom", self._rule5_interprocedural),
+            ("R6-transitivity", self._rule6_fixpoint),
+        )
+        for rule_name, apply_rule in rules:
+            with obs.span(f"hb.rule.{rule_name}") as sp:
+                before = len(self.shbg.direct_edges)
+                apply_rule()
+                sp.set(edges_added=len(self.shbg.direct_edges) - before)
+        obs.metrics.counter(
+            "hb.closure_ops", "transitive-closure row merges during SHBG builds"
+        ).inc(getattr(self.shbg.closure, "ops", 0))
         return self.shbg
 
     # ------------------------------------------------------------------

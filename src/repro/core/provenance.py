@@ -1,0 +1,355 @@
+"""Race provenance: the evidence behind every reported race.
+
+A SIERRA report is only as deployable as its audit trail (cf. the True
+Positives Theorem line of work): an operator triaging a race needs to see
+*why* the detector believes it, not just a rank. For every surviving race
+we record three pillars of evidence:
+
+1. **Happens-before** — the two actions are unordered in the SHBG. The
+   block names the latest common ancestors ("fork points") with the
+   rule-labeled derivation chains from a fork point to each action, the
+   HB rules incident to each action, and — for same-looper pairs — the
+   rule-6 gap: which poster pair stayed unordered, which is exactly the
+   chain that failed to order the race.
+2. **Aliasing** — the points-to facts that made the accesses conflict:
+   the racy location, each access's instruction/method/action, and the
+   overlap of their location sets.
+3. **Refutation** — the symbolic-execution verdict for this pair and for
+   its *refuted siblings* (candidates on the same field or sharing an
+   action that backward symbolic execution killed): evidence the
+   detector did try to disprove this report.
+
+The machine-readable block rides on each report in ``--json`` output
+(``provenance``); ``repro explain <app> <race-id>`` renders the same
+data as a human-readable evidence tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.extract import Extraction
+from repro.core.hb import HBEdge, SHBG
+from repro.core.races import RacyPair
+from repro.core.refute import RefutationResult
+from repro.core.report import RaceReport
+
+#: caps keeping provenance blocks bounded on pathological apps
+MAX_LIST = 8
+MAX_SIBLINGS = 10
+
+
+@dataclass
+class RaceProvenance:
+    """Evidence bundle for one reported race (JSON-ready via to_dict)."""
+
+    hb: Dict[str, object] = field(default_factory=dict)
+    aliasing: Dict[str, object] = field(default_factory=dict)
+    refutation: Dict[str, object] = field(default_factory=dict)
+    refuted_siblings: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hb": dict(self.hb),
+            "aliasing": dict(self.aliasing),
+            "refutation": dict(self.refutation),
+            "refuted_siblings": [dict(s) for s in self.refuted_siblings],
+        }
+
+
+def _edge_dicts(path: Optional[List[HBEdge]]) -> List[Dict[str, object]]:
+    if not path:
+        return []
+    return [{"src": e.src, "dst": e.dst, "rule": e.rule} for e in path]
+
+
+def _capped(items: List, cap: int = MAX_LIST) -> Dict[str, object]:
+    out: Dict[str, object] = {"items": items[:cap]}
+    if len(items) > cap:
+        out["truncated"] = len(items) - cap
+    return out
+
+
+# ----------------------------------------------------------------------
+# pillar 1: happens-before evidence
+# ----------------------------------------------------------------------
+def _incident_rules(shbg: SHBG, action_id: int) -> Dict[str, int]:
+    """Rules that produced direct edges touching this action."""
+    counts: Dict[str, int] = {}
+    for edge in shbg.direct_edges:
+        if edge.src == action_id or edge.dst == action_id:
+            counts[edge.rule] = counts.get(edge.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _rule6_gap(
+    extraction: Extraction, shbg: SHBG, a_id: int, b_id: int
+) -> Optional[Dict[str, object]]:
+    """Why rule 6 (inter-action transitivity) failed to order the pair:
+    the poster pairs that stayed unordered. Only meaningful when both
+    actions have posters at all."""
+    a, b = extraction.by_id(a_id), extraction.by_id(b_id)
+    if not a.parents or not b.parents:
+        return None
+    pairs: List[Dict[str, object]] = []
+    unordered = 0
+    for p in sorted(a.parents):
+        for q in sorted(b.parents):
+            if p == q:
+                status = "same-action"
+            elif shbg.ordered(p, q):
+                status = "p<q"
+            elif shbg.ordered(q, p):
+                status = "q<p"
+            else:
+                status = "unordered"
+            if status in ("unordered", "same-action"):
+                unordered += 1
+            pairs.append({"poster_of_a": p, "poster_of_b": q, "status": status})
+    return {
+        "posters_of_a": sorted(a.parents),
+        "posters_of_b": sorted(b.parents),
+        "unordered_poster_pairs": unordered,
+        "pairs": _capped(pairs),
+    }
+
+
+def _hb_evidence(extraction: Extraction, shbg: SHBG, pair: RacyPair) -> Dict[str, object]:
+    a_id, b_id = pair.actions
+    a, b = extraction.by_id(a_id), extraction.by_id(b_id)
+    forks = shbg.fork_points(a_id, b_id)
+    fork_evidence: Optional[Dict[str, object]] = None
+    if forks:
+        fork = forks[0]
+        fork_evidence = {
+            "fork": fork,
+            "fork_label": extraction.by_id(fork).describe(),
+            "chain_to_a": _edge_dicts(shbg.rule_path(fork, a_id)),
+            "chain_to_b": _edge_dicts(shbg.rule_path(fork, b_id)),
+        }
+    out: Dict[str, object] = {
+        "ordered": False,
+        "actions": {
+            str(a_id): {
+                "describe": a.describe(),
+                "incident_rules": _incident_rules(shbg, a_id),
+            },
+            str(b_id): {
+                "describe": b.describe(),
+                "incident_rules": _incident_rules(shbg, b_id),
+            },
+        },
+        "fork_points": forks[:MAX_LIST],
+        "fork_evidence": fork_evidence,
+        "same_looper": a.affinity.same_looper(b.affinity),
+    }
+    gap = _rule6_gap(extraction, shbg, a_id, b_id)
+    if gap is not None:
+        out["rule6_gap"] = gap
+    return out
+
+
+# ----------------------------------------------------------------------
+# pillar 2: aliasing evidence
+# ----------------------------------------------------------------------
+def _aliasing_evidence(pair: RacyPair) -> Dict[str, object]:
+    overlap = sorted(
+        repr(loc) for loc in (pair.access1.locations & pair.access2.locations)
+    )
+    accesses = []
+    for access in (pair.access1, pair.access2):
+        accesses.append(
+            {
+                "kind": access.kind,
+                "field": access.field_name,
+                "method": access.method_signature,
+                "action": access.action.id,
+                "action_label": access.action.describe(),
+                "instruction": repr(access.instr),
+                "locations": _capped(sorted(repr(loc) for loc in access.locations)),
+            }
+        )
+    return {
+        "location": {
+            "base": repr(pair.location.base),
+            "field": pair.location.field,
+            "static": pair.location.is_static,
+        },
+        "accesses": accesses,
+        "overlap": _capped(overlap),
+    }
+
+
+# ----------------------------------------------------------------------
+# pillar 3: refutation evidence
+# ----------------------------------------------------------------------
+def _refutation_evidence(result: Optional[RefutationResult]) -> Dict[str, object]:
+    if result is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "verdict": "race" if result.is_race else "refuted",
+        "refuted_ordering": result.refuted_ordering,
+        "budget_exceeded": result.budget_exceeded,
+        "nodes_expanded": result.nodes_expanded,
+    }
+
+
+def _sibling_evidence(
+    pair: RacyPair, all_results: List[RefutationResult]
+) -> List[Dict[str, object]]:
+    """Refuted candidates related to this pair (same field, or sharing an
+    action): the refutations that vouch for the detector's selectivity."""
+    siblings: List[Dict[str, object]] = []
+    pair_actions = set(pair.actions)
+    for result in all_results:
+        if result.is_race or result.pair is pair:
+            continue
+        related = result.pair.field_name == pair.field_name or bool(
+            set(result.pair.actions) & pair_actions
+        )
+        if not related:
+            continue
+        siblings.append(
+            {
+                "actions": list(result.pair.actions),
+                "field": result.pair.field_name,
+                "kind": result.pair.kind,
+                "refuted_ordering": result.refuted_ordering,
+            }
+        )
+        if len(siblings) >= MAX_SIBLINGS:
+            break
+    return siblings
+
+
+# ----------------------------------------------------------------------
+# assembly
+# ----------------------------------------------------------------------
+def build_provenance(
+    pair: RacyPair,
+    extraction: Extraction,
+    shbg: SHBG,
+    result: Optional[RefutationResult] = None,
+    all_results: Optional[List[RefutationResult]] = None,
+) -> RaceProvenance:
+    """Assemble the three-pillar evidence bundle for one racy pair."""
+    return RaceProvenance(
+        hb=_hb_evidence(extraction, shbg, pair),
+        aliasing=_aliasing_evidence(pair),
+        refutation=_refutation_evidence(result),
+        refuted_siblings=_sibling_evidence(pair, all_results or []),
+    )
+
+
+def attach_provenance(
+    reports: List[RaceReport],
+    extraction: Extraction,
+    shbg: SHBG,
+    results: Optional[List[RefutationResult]] = None,
+) -> None:
+    """Attach a provenance bundle to every ranked report (in place)."""
+    by_pair: Dict[int, RefutationResult] = {}
+    if results:
+        by_pair = {id(r.pair): r for r in results}
+    for report in reports:
+        report.provenance = build_provenance(
+            report.pair,
+            extraction,
+            shbg,
+            result=by_pair.get(id(report.pair)),
+            all_results=results or [],
+        )
+
+
+# ----------------------------------------------------------------------
+# rendering (repro explain)
+# ----------------------------------------------------------------------
+def _chain_str(chain: List[Dict[str, object]]) -> str:
+    if not chain:
+        return "(direct)"
+    hops = " → ".join(f"{e['rule']}" for e in chain)
+    via = " ".join(f"{e['src']}≺{e['dst']}" for e in chain)
+    return f"{hops} ({via})"
+
+
+def render_evidence_tree(report: RaceReport) -> str:
+    """The ``repro explain`` output: a human-readable evidence tree."""
+    prov = report.provenance
+    if prov is None:
+        return f"race #{report.rank}: no provenance recorded"
+    pair = report.pair
+    a_id, b_id = pair.actions
+    flags = [
+        name
+        for name, on in (("NPE-risk", report.pointer_race), ("guard-var", report.benign_guard))
+        if on
+    ]
+    suffix = f" [{', '.join(flags)}]" if flags else ""
+    lines = [
+        f"race #{report.rank}: {pair.kind}-race on {pair.location!r} "
+        f"— tier {report.tier}, priority {report.priority}{suffix}"
+    ]
+
+    hb = prov.hb
+    lines.append(f"├─ happens-before: actions {a_id} and {b_id} are unordered")
+    actions_block = hb.get("actions", {})
+    for action_id in (a_id, b_id):
+        info = actions_block.get(str(action_id), {})
+        rules = info.get("incident_rules", {})
+        rules_str = (
+            ", ".join(f"{rule}×{n}" for rule, n in rules.items()) if rules else "none"
+        )
+        lines.append(f"│  ├─ action {action_id}: {info.get('describe', '?')}")
+        lines.append(f"│  │    ordered by: {rules_str}")
+    fork = hb.get("fork_evidence")
+    if fork:
+        lines.append(f"│  ├─ fork point: action {fork['fork']} ({fork['fork_label']})")
+        lines.append(f"│  │    ≺ {a_id} via {_chain_str(fork['chain_to_a'])}")
+        lines.append(f"│  │    ≺ {b_id} via {_chain_str(fork['chain_to_b'])}")
+    else:
+        lines.append("│  ├─ no common ancestor: the actions never synchronize")
+    gap = hb.get("rule6_gap")
+    if gap:
+        lines.append(
+            f"│  └─ rule-6 gap: {gap['unordered_poster_pairs']} poster pair(s) "
+            f"unordered (posters of {a_id}: {gap['posters_of_a']}, "
+            f"of {b_id}: {gap['posters_of_b']})"
+        )
+    else:
+        lines.append("│  └─ rule-6 not applicable (an action has no posters)")
+
+    al = prov.aliasing
+    loc = al.get("location", {})
+    lines.append(f"├─ aliasing: both may touch {loc.get('base')}.{loc.get('field')}")
+    for access in al.get("accesses", []):
+        lines.append(
+            f"│  ├─ {access['kind']} {access['field']} in {access['method']} "
+            f"[action {access['action']}]"
+        )
+    overlap = al.get("overlap", {}).get("items", [])
+    lines.append(f"│  └─ overlapping cells: {len(overlap)}")
+
+    ref = prov.refutation
+    if not ref.get("enabled"):
+        lines.append("└─ refutation: not run (--no-refute)")
+    else:
+        budget = " (path budget exceeded: over-approximated)" if ref.get(
+            "budget_exceeded"
+        ) else ""
+        lines.append(
+            f"└─ refutation: survived — no ordering could be disproven"
+            f"{budget} (nodes expanded: {ref.get('nodes_expanded', 0)})"
+        )
+        siblings = prov.refuted_siblings
+        if siblings:
+            for i, sib in enumerate(siblings):
+                branch = "└─" if i == len(siblings) - 1 else "├─"
+                lines.append(
+                    f"   {branch} refuted sibling: actions {tuple(sib['actions'])} "
+                    f"on {sib['field']} (ordering {sib['refuted_ordering']} infeasible)"
+                )
+        else:
+            lines.append("   └─ no refuted siblings on this field or these actions")
+    return "\n".join(lines)

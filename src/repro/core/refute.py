@@ -149,6 +149,7 @@ class RefutationEngine:
                     )
                     continue
                 if summary is not None:
+                    self._record_metrics(summary)
                     return summary
                 # fork is unavailable on this platform: retrying cannot help
                 degraded_reason = "fork start method unavailable"
@@ -165,23 +166,63 @@ class RefutationEngine:
         if degraded_reason is not None:
             summary.degraded = True
             summary.degraded_reason = degraded_reason
+        self._record_metrics(summary)
         return summary
+
+    @staticmethod
+    def _record_metrics(summary: RefutationSummary) -> None:
+        """Record the run's refutation effort into the metrics registry.
+
+        Deliberately summary-level and parent-side: pool workers never
+        touch the registry, so a parallel run scrapes exactly the same
+        totals as a serial one (the parallel-equivalence tests lock this).
+        """
+        stats = summary.stats()
+        obs.metrics.counter(
+            "refutation.candidates", "racy pairs fed to symbolic refutation"
+        ).inc(stats["candidates"])
+        obs.metrics.counter(
+            "refutation.refuted", "candidates killed by backward symbolic execution"
+        ).inc(stats["refuted"])
+        obs.metrics.counter(
+            "refutation.nodes_expanded", "ICFG nodes expanded across all candidates"
+        ).inc(stats["nodes_expanded"])
+        obs.metrics.counter(
+            "refutation.cache_hits", "§5 refuted-node memo hits"
+        ).inc(stats["cache_hits"])
+        obs.metrics.counter(
+            "refutation.budget_exceeded", "candidates kept because the path budget ran out"
+        ).inc(stats["budget_exceeded"])
+        hist = obs.metrics.histogram(
+            "refutation.nodes_per_candidate", "expansion effort per candidate"
+        )
+        for result in summary.results:
+            hist.observe(result.nodes_expanded)
 
     def refute(self, pair: RacyPair) -> RefutationResult:
         result = RefutationResult(pair=pair, is_race=True)
         a1, a2 = pair.access1, pair.access2
-        for earlier, later, tag in ((a1, a2, "1<2"), (a2, a1, "2<1")):
-            outcome = self._ordering_feasible(earlier, later)
-            result.nodes_expanded += outcome.nodes_expanded
-            result.budget_exceeded |= outcome.budget_exceeded
-            result.cache_hits += outcome.cache_hits
-            if outcome.budget_exceeded:
-                # cannot decide: over-approximate (keep the race)
-                continue
-            if not outcome.feasible:
-                result.is_race = False
-                result.refuted_ordering = tag
-                break
+        with obs.span(
+            "refute.candidate",
+            field=pair.field_name,
+            actions=list(pair.actions),
+        ) as sp:
+            for earlier, later, tag in ((a1, a2, "1<2"), (a2, a1, "2<1")):
+                outcome = self._ordering_feasible(earlier, later)
+                result.nodes_expanded += outcome.nodes_expanded
+                result.budget_exceeded |= outcome.budget_exceeded
+                result.cache_hits += outcome.cache_hits
+                if outcome.budget_exceeded:
+                    # cannot decide: over-approximate (keep the race)
+                    continue
+                if not outcome.feasible:
+                    result.is_race = False
+                    result.refuted_ordering = tag
+                    break
+            sp.set(
+                verdict="race" if result.is_race else "refuted",
+                nodes_expanded=result.nodes_expanded,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -322,13 +363,19 @@ class RefutationEngine:
 _FORK_JOB: Optional[tuple] = None
 
 
-def _refute_chunk(chunk_index: int) -> List[Tuple[bool, Optional[str], int, bool, int]]:
+def _refute_chunk(
+    chunk_index: int,
+) -> Tuple[List[Tuple[bool, Optional[str], int, bool, int]], List[Dict[str, object]]]:
     """Worker: refute one contiguous chunk of pairs with a fresh engine.
 
     The engine — and therefore the §5 refuted-node memo — is shared across
     the chunk's pairs, mirroring the serial path at chunk granularity.
     Returns plain tuples so the parent can reattach its own pair objects
-    (pickling the pairs back would break identity-keyed caches).
+    (pickling the pairs back would break identity-keyed caches), plus the
+    worker-side obs events (chunk + per-candidate spans) as dicts. The
+    fork inherited the parent's open-span stack, so those spans already
+    carry parent ids pointing into the parent's tree — the parent just
+    re-emits them.
     """
     assert _FORK_JOB is not None
     extraction, path_budget, loop_bound, chunks = _FORK_JOB
@@ -336,12 +383,22 @@ def _refute_chunk(chunk_index: int) -> List[Tuple[bool, Optional[str], int, bool
         extraction, path_budget=path_budget, loop_bound=loop_bound
     )
     out = []
-    for pair in chunks[chunk_index]:
-        r = engine.refute(pair)
-        out.append(
-            (r.is_race, r.refuted_ordering, r.nodes_expanded, r.budget_exceeded, r.cache_hits)
-        )
-    return out
+    with obs.Recorder() as recorder:
+        with obs.span(
+            "refute.chunk", chunk=chunk_index, pairs=len(chunks[chunk_index])
+        ):
+            for pair in chunks[chunk_index]:
+                r = engine.refute(pair)
+                out.append(
+                    (
+                        r.is_race,
+                        r.refuted_ordering,
+                        r.nodes_expanded,
+                        r.budget_exceeded,
+                        r.cache_hits,
+                    )
+                )
+    return out, recorder.to_dicts()
 
 
 def _refute_parallel(
@@ -390,7 +447,11 @@ def _refute_parallel(
         _FORK_JOB = None
 
     summary = RefutationSummary()
-    for chunk, results in zip(chunks, chunk_results):
+    for chunk, (results, worker_events) in zip(chunks, chunk_results):
+        # replay the worker's spans into this process's hooks: their span
+        # ids/parent ids/timestamps were minted worker-side and reattach to
+        # the span open here at fork time (the refutation stage)
+        obs.reemit(worker_events)
         for pair, (is_race, ordering, nodes, budget, hits) in zip(chunk, results):
             summary.results.append(
                 RefutationResult(

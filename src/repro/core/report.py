@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.races import RacyPair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.provenance import RaceProvenance
 
 
 @dataclass
@@ -18,6 +21,7 @@ class RaceReport:
     pointer_race: bool  # reference-typed cell: NullPointerException risk
     benign_guard: bool  # guard-variable race (§6.5): true but likely benign
     rank: int = 0
+    provenance: Optional["RaceProvenance"] = None  # evidence bundle (repro explain)
 
     @property
     def field_name(self) -> str:
@@ -85,6 +89,25 @@ class SierraReport:
             "Total": round(self.time_total, 3),
         }
 
+    @staticmethod
+    def _report_dict(race: RaceReport) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rank": race.rank,
+            "field": race.field_name,
+            "kind": race.kind,
+            "tier": race.tier,
+            "priority": race.priority,
+            "pointer_race": race.pointer_race,
+            "benign_guard": race.benign_guard,
+            "location": repr(race.pair.location),
+            "actions": list(race.pair.actions),
+            "access1": race.pair.access1.describe(),
+            "access2": race.pair.access2.describe(),
+        }
+        if race.provenance is not None:
+            out["provenance"] = race.provenance.to_dict()
+        return out
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable rendering (CLI ``--json``, CI pipelines)."""
         return {
@@ -104,22 +127,7 @@ class SierraReport:
                 "refutation": round(self.time_refutation, 4),
                 "total": round(self.time_total, 4),
             },
-            "reports": [
-                {
-                    "rank": race.rank,
-                    "field": race.field_name,
-                    "kind": race.kind,
-                    "tier": race.tier,
-                    "priority": race.priority,
-                    "pointer_race": race.pointer_race,
-                    "benign_guard": race.benign_guard,
-                    "location": repr(race.pair.location),
-                    "actions": list(race.pair.actions),
-                    "access1": race.pair.access1.describe(),
-                    "access2": race.pair.access2.describe(),
-                }
-                for race in self.reports
-            ],
+            "reports": [self._report_dict(race) for race in self.reports],
         }
 
 

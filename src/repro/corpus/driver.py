@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import platform
 import sys
 import time
@@ -170,7 +171,10 @@ def _execute_app(
         if inject_fail:
             raise RuntimeError(f"injected failure for {name!r} (--inject-fail)")
         if inject_hang_s > 0:
-            time.sleep(inject_hang_s)
+            # a real stage block: the streamed stage_start is what lets the
+            # parent's timeout record name the stage the worker died inside
+            with obs.stage("inject-hang", app=name):
+                time.sleep(inject_hang_s)
         apk = load_app(name)
         result = Sierra(SierraOptions(**options_dict)).analyze(apk)
     report = result.report
@@ -199,20 +203,63 @@ def _error_payload(exc: BaseException) -> Dict[str, object]:
     }
 
 
+class _PipeStreamer:
+    """An obs hook that streams events through the result pipe as they
+    happen, so a worker killed on timeout still leaves its partial event
+    trail in RUN_report.json (showing *where* it was stuck).
+
+    Pid-guarded: the refutation pool's grandchildren inherit the hook
+    across ``fork`` but must never write — ``Connection.send`` is not safe
+    for concurrent writers. Their spans come back through the chunk
+    results and are re-emitted in this process, where the guard passes.
+    """
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.pid = os.getpid()
+
+    def __call__(self, event: obs.RunEvent) -> None:
+        if os.getpid() != self.pid:
+            return
+        try:
+            self.conn.send(("event", event.to_dict()))
+        except (BrokenPipeError, OSError):
+            pass  # parent gone; the worker is about to die anyway
+
+
 def _run_app_worker(conn, name, options_dict, inject_fail, inject_hang_s) -> None:
     """Forked worker: run one app, ship the payload through the pipe.
 
     Catches *everything* (SystemExit from app loading included) — the
-    payload, not the exit code, is the parent's source of truth.
+    payload, not the exit code, is the parent's source of truth. Events
+    are streamed live as ``("event", dict)`` messages; the terminal
+    ``("result", payload)`` message carries the full record.
     """
+    streamer = _PipeStreamer(conn)
+    obs.add_hook(streamer)
     try:
         payload = _execute_app(name, options_dict, inject_fail, inject_hang_s)
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         payload = _error_payload(exc)
+    finally:
+        obs.remove_hook(streamer)
     try:
-        conn.send(payload)
+        conn.send(("result", payload))
     finally:
         conn.close()
+
+
+def _stuck_stage(events: List[Dict[str, object]]) -> Optional[str]:
+    """The innermost stage/span still open at the end of a partial event
+    stream — where a timed-out worker was when it was killed."""
+    stack: List[str] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind in (obs.STAGE_START, obs.SPAN_START):
+            stack.append(str(event.get("stage")))
+        elif kind in (obs.STAGE_END, obs.SPAN_END) and stack:
+            stack.pop()
+    return stack[-1] if stack else None
 
 
 # ----------------------------------------------------------------------
@@ -239,12 +286,35 @@ def _run_one_isolated(
     send_conn.close()  # parent's copy: the pipe must EOF when the worker dies
 
     payload: Optional[Dict[str, object]] = None
+    streamed: List[Dict[str, object]] = []
     timed_out = False
+    deadline = t0 + timeout_s
     try:
-        if recv_conn.poll(timeout_s):
-            payload = recv_conn.recv()
-        else:
-            timed_out = True
+        # drain the pipe message by message: ("event", dict) interleaves with
+        # the terminal ("result", payload); on timeout whatever events made
+        # it through are the flush the report keeps
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0 or not recv_conn.poll(remaining):
+                timed_out = True
+                break
+            message = recv_conn.recv()
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == "event"
+            ):
+                streamed.append(message[1])
+                continue
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == "result"
+            ):
+                payload = message[1]
+            else:  # legacy bare-payload protocol
+                payload = message
+            break
     except EOFError:
         payload = None  # worker died before sending (hard crash)
     elapsed = time.perf_counter() - t0
@@ -255,20 +325,24 @@ def _run_one_isolated(
         if proc.is_alive():
             proc.kill()
             proc.join()
+        stuck = _stuck_stage(streamed)
+        error = {
+            "type": "Timeout",
+            "message": f"exceeded the {timeout_s:g}s per-app wall-clock budget"
+            + (f" (stuck in stage {stuck!r})" if stuck else ""),
+            "traceback": "",
+        }
+        if stuck:
+            error["stuck_stage"] = stuck
         record = AppRunRecord(
-            app=name,
-            status=STATUS_TIMEOUT,
-            error={
-                "type": "Timeout",
-                "message": f"exceeded the {timeout_s:g}s per-app wall-clock budget",
-                "traceback": "",
-            },
+            app=name, status=STATUS_TIMEOUT, events=streamed, error=error
         )
     elif payload is None:
         proc.join(_TERMINATE_GRACE_S)
         record = AppRunRecord(
             app=name,
             status=STATUS_ERROR,
+            events=streamed,
             error={
                 "type": "WorkerDied",
                 "message": (

@@ -1,36 +1,58 @@
-"""Observability: stage-event hooks and structured run diagnostics.
+"""Observability: hierarchical spans, the metrics registry, trace export.
 
-See :mod:`repro.obs.diagnostics` and ``docs/operations.md``.
+See :mod:`repro.obs.diagnostics` (span/stage/hook bus),
+:mod:`repro.obs.metrics` (typed counter/gauge/histogram registry),
+:mod:`repro.obs.tracing` (Chrome trace-event export), and
+``docs/observability.md``.
 """
 
+from repro.obs import metrics, tracing
 from repro.obs.diagnostics import (
     DEGRADED,
     Recorder,
     RunEvent,
+    SPAN_END,
+    SPAN_START,
     STAGE_END,
     STAGE_START,
+    Span,
     StageTimer,
     WARNING,
     add_hook,
     emit,
     emit_degraded,
     emit_warning,
+    reemit,
     remove_hook,
+    set_memory_capture,
+    span,
     stage,
 )
+from repro.obs.tracing import TraceCollector, validate_chrome_trace, validate_trace_file
 
 __all__ = [
     "DEGRADED",
     "Recorder",
     "RunEvent",
+    "SPAN_END",
+    "SPAN_START",
     "STAGE_END",
     "STAGE_START",
+    "Span",
     "StageTimer",
+    "TraceCollector",
     "WARNING",
     "add_hook",
     "emit",
     "emit_degraded",
     "emit_warning",
+    "metrics",
+    "reemit",
     "remove_hook",
+    "set_memory_capture",
+    "span",
     "stage",
+    "tracing",
+    "validate_chrome_trace",
+    "validate_trace_file",
 ]

@@ -1,10 +1,16 @@
-"""Run diagnostics: structured stage events, warnings, and degradation.
+"""Run diagnostics: hierarchical spans, stage events, warnings, degradation.
 
 The detector and its substrates report what happened through a tiny
 hook bus instead of ``print`` or — worse — silence:
 
 * the pipeline wraps each Table 4 stage in :func:`stage`, which emits a
   ``stage_start``/``stage_end`` event pair with wall-clock seconds;
+* work *below* stage granularity (one HB rule, one refutation
+  candidate, one points-to worklist round) is wrapped in :func:`span`,
+  which emits ``span_start``/``span_end`` pairs carrying a span id and
+  the id of the enclosing span — together the events form a tree that
+  :class:`repro.obs.tracing.TraceCollector` exports as a Chrome
+  trace-event file;
 * fallback paths that *lose* something (a crashed refutation worker pool
   degrading to serial, a retry) emit ``warning`` / ``degraded`` events
   via :func:`emit_warning` / :func:`emit_degraded` instead of a bare
@@ -12,10 +18,18 @@ hook bus instead of ``print`` or — worse — silence:
 
 Consumers install a callback with :func:`add_hook` (or the
 :class:`Recorder` context manager, which collects events into a
-JSON-ready list). With no hooks installed, emitting is a no-op — the
-analysis pays one list lookup per event. Hook exceptions are **not**
-swallowed: a broken consumer should fail loudly, exactly like the
-producer paths this module exists to de-silence.
+JSON-ready list). With no hooks installed, emitting is a no-op and
+:func:`span` short-circuits before allocating ids — the analysis pays
+one truthiness test per span. Hook exceptions are **not** swallowed: a
+broken consumer should fail loudly, exactly like the producer paths
+this module exists to de-silence.
+
+Span ids are ``"{pid:x}-{n}"`` strings: a forked refutation worker
+inherits the parent's open-span stack (so its first span parents onto
+the span that was open at fork time — the refutation stage) while its
+own ids can never collide with ids minted in the parent. Events shipped
+back across the process boundary therefore reattach to the parent's
+span tree with no translation.
 
 The corpus driver (``repro corpus-analyze``) installs a
 :class:`Recorder` around each per-app run and ships the events back to
@@ -24,6 +38,8 @@ the parent process as the app's entry in ``RUN_report.json``.
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -32,19 +48,31 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: event kinds, in the order a consumer will typically see them
 STAGE_START = "stage_start"
 STAGE_END = "stage_end"
+SPAN_START = "span_start"
+SPAN_END = "span_end"
 WARNING = "warning"
 DEGRADED = "degraded"
+
+#: kinds that open/close a node in the span tree (stages are root spans)
+_OPENING_KINDS = frozenset({STAGE_START, SPAN_START})
+_CLOSING_KINDS = frozenset({STAGE_END, SPAN_END})
 
 
 @dataclass
 class RunEvent:
     """One diagnostic event fired by the pipeline."""
 
-    kind: str  # STAGE_START | STAGE_END | WARNING | DEGRADED
-    stage: Optional[str] = None  # "cg_pa" | "hbg" | "refutation" | ...
+    kind: str  # STAGE_START | STAGE_END | SPAN_START | SPAN_END | ...
+    stage: Optional[str] = None  # stage or span name ("hbg", "hb.rule.R1-…")
     message: str = ""
-    seconds: Optional[float] = None  # STAGE_END only
+    seconds: Optional[float] = None  # STAGE_END / SPAN_END only
     detail: Dict[str, object] = field(default_factory=dict)
+    # -- span tree fields (set on stage/span events when hooks are live) --
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    ts: Optional[float] = None  # time.perf_counter() at emission
+    pid: Optional[int] = None  # emitting process
+    mem: Optional[Dict[str, int]] = None  # memory capture (SPAN_END/STAGE_END)
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"kind": self.kind}
@@ -56,7 +84,34 @@ class RunEvent:
             out["seconds"] = round(self.seconds, 4)
         if self.detail:
             out["detail"] = dict(self.detail)
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.ts is not None:
+            out["ts"] = self.ts
+        if self.pid is not None:
+            out["pid"] = self.pid
+        if self.mem is not None:
+            out["mem"] = dict(self.mem)
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunEvent":
+        """Inverse of :meth:`to_dict` — used to re-emit events that crossed
+        a process boundary (refutation pool workers, the corpus driver)."""
+        return cls(
+            kind=str(data["kind"]),
+            stage=data.get("stage"),  # type: ignore[arg-type]
+            message=str(data.get("message", "")),
+            seconds=data.get("seconds"),  # type: ignore[arg-type]
+            detail=dict(data.get("detail", {})),  # type: ignore[arg-type]
+            span_id=data.get("span_id"),  # type: ignore[arg-type]
+            parent_id=data.get("parent_id"),  # type: ignore[arg-type]
+            ts=data.get("ts"),  # type: ignore[arg-type]
+            pid=data.get("pid"),  # type: ignore[arg-type]
+            mem=data.get("mem"),  # type: ignore[arg-type]
+        )
 
 
 Hook = Callable[[RunEvent], None]
@@ -70,15 +125,32 @@ def add_hook(hook: Hook) -> None:
 
 
 def remove_hook(hook: Hook) -> None:
-    """Uninstall ``hook`` (no-op if it is not installed)."""
+    """Uninstall ``hook``.
+
+    Removing a hook that is not installed is *unbalanced* — some caller
+    either removed it twice or never added it. That used to be silent;
+    now the remaining hooks get a ``warning`` event so the imbalance is
+    visible in the run record (it still never raises: a diagnostics
+    teardown path must not take the analysis down).
+    """
     try:
         _hooks.remove(hook)
     except ValueError:
-        pass
+        emit_warning(
+            "remove_hook: hook was not installed (unbalanced removal)",
+            stage="obs",
+            hook=repr(hook),
+        )
 
 
 def emit(event: RunEvent) -> None:
     """Deliver ``event`` to every installed hook, in installation order."""
+    if not _hooks:
+        return
+    if event.ts is None:
+        event.ts = time.perf_counter()
+    if event.pid is None:
+        event.pid = os.getpid()
     for hook in list(_hooks):
         hook(event)
 
@@ -93,33 +165,151 @@ def emit_degraded(message: str, stage: Optional[str] = None, **detail: object) -
     emit(RunEvent(kind=DEGRADED, stage=stage, message=message, detail=detail))
 
 
+def reemit(dicts: List[Dict[str, object]]) -> None:
+    """Re-deliver events that were serialized in another process.
+
+    Timestamps, pids, and span ids are preserved, so spans recorded in a
+    forked worker slot into the parent's trace exactly where they ran.
+    """
+    for data in dicts:
+        emit(RunEvent.from_dict(data))
+
+
+# ----------------------------------------------------------------------
+# hierarchical spans
+# ----------------------------------------------------------------------
+_span_counter = itertools.count(1)
+#: ids of currently-open spans in this process; a fork inherits a copy,
+#: which is exactly what parents worker-side spans onto the right node
+_span_stack: List[str] = []
+
+#: capture peak-RSS (and tracemalloc, when tracing) at span end. Off by
+#: default — ``getrusage`` per span is cheap but not free, and the corpus
+#: driver's event lists should not grow for runs that never export a trace.
+_capture_memory = False
+
+
+def set_memory_capture(enabled: bool) -> None:
+    """Toggle per-span memory capture (see :class:`Span`)."""
+    global _capture_memory
+    _capture_memory = enabled
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}-{next(_span_counter)}"
+
+
+def _memory_snapshot() -> Optional[Dict[str, int]]:
+    if not _capture_memory:
+        return None
+    import resource
+
+    snap = {"rss_peak_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)}
+    try:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            snap["py_kb"] = current // 1024
+            snap["py_peak_kb"] = peak // 1024
+    except ImportError:  # pragma: no cover — tracemalloc is stdlib
+        pass
+    return snap
+
+
 @dataclass
-class StageTimer:
-    """Yielded by :func:`stage`; ``seconds`` is final once the block exits."""
+class Span:
+    """Yielded by :func:`span` / :func:`stage`; mutate ``attrs`` via
+    :meth:`set` to enrich the closing event (e.g. edges added by an HB
+    rule). ``seconds`` is final once the block exits."""
 
     name: str
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
     seconds: float = 0.0
+
+    def set(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+
+#: legacy alias — the stage() context manager used to yield a StageTimer
+#: with just .name and .seconds; Span is a superset of that interface
+StageTimer = Span
 
 
 @contextmanager
-def stage(name: str, **detail: object) -> Iterator[StageTimer]:
-    """Time a pipeline stage, emitting start/end events around the block.
+def _timed_pair(
+    name: str, start_kind: str, end_kind: str, detail: Dict[str, object]
+) -> Iterator[Span]:
+    """Common machinery behind :func:`span` and :func:`stage`.
 
-    The ``stage_end`` event is emitted even when the block raises (with the
-    partial duration), so a consumer always sees where a run died.
+    The closing event fires even when the block raises (with the partial
+    duration), so a consumer always sees where a run died. When no hooks
+    are installed at entry, the span still times itself (stage timings
+    feed the report) but mints no ids and emits nothing.
     """
-    timer = StageTimer(name=name)
-    emit(RunEvent(kind=STAGE_START, stage=name, detail=dict(detail)))
+    if not _hooks:
+        sp = Span(name=name, attrs=dict(detail))
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.seconds = time.perf_counter() - t0
+        return
+
+    sp = Span(
+        name=name,
+        span_id=_new_span_id(),
+        parent_id=_span_stack[-1] if _span_stack else None,
+        attrs=dict(detail),
+    )
+    _span_stack.append(sp.span_id)
+    emit(
+        RunEvent(
+            kind=start_kind,
+            stage=name,
+            detail=dict(detail),
+            span_id=sp.span_id,
+            parent_id=sp.parent_id,
+        )
+    )
     t0 = time.perf_counter()
     try:
-        yield timer
+        yield sp
     finally:
-        timer.seconds = time.perf_counter() - t0
+        sp.seconds = time.perf_counter() - t0
+        _span_stack.pop()
         emit(
             RunEvent(
-                kind=STAGE_END, stage=name, seconds=timer.seconds, detail=dict(detail)
+                kind=end_kind,
+                stage=name,
+                seconds=sp.seconds,
+                detail=dict(sp.attrs),
+                span_id=sp.span_id,
+                parent_id=sp.parent_id,
+                mem=_memory_snapshot(),
             )
         )
+
+
+@contextmanager
+def stage(name: str, **detail: object) -> Iterator[Span]:
+    """Time a pipeline stage (a root-level span with legacy event kinds)."""
+    with _timed_pair(name, STAGE_START, STAGE_END, detail) as sp:
+        yield sp
+
+
+@contextmanager
+def span(name: str, **detail: object) -> Iterator[Span]:
+    """Time one unit of work below stage granularity.
+
+    Spans nest: the id of the enclosing open span (stage or span) becomes
+    this span's ``parent_id``. Essentially free when no hooks are
+    installed.
+    """
+    with _timed_pair(name, SPAN_START, SPAN_END, detail) as sp:
+        yield sp
 
 
 class Recorder:
@@ -129,10 +319,15 @@ class Recorder:
     ...     run_pipeline()
     >>> rec.warnings()
     ['refutation worker pool crashed ...']
+
+    The context manager is idempotent: exiting twice (or exiting after a
+    manual :func:`remove_hook`) uninstalls at most once and never trips
+    the unbalanced-removal warning.
     """
 
     def __init__(self) -> None:
         self.events: List[RunEvent] = []
+        self._installed = False
 
     # -- hook protocol -------------------------------------------------
     def __call__(self, event: RunEvent) -> None:
@@ -140,10 +335,13 @@ class Recorder:
 
     def __enter__(self) -> "Recorder":
         add_hook(self)
+        self._installed = True
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        remove_hook(self)
+        if self._installed:
+            self._installed = False
+            remove_hook(self)
 
     # -- views ---------------------------------------------------------
     def of_kind(self, kind: str) -> List[RunEvent]:
@@ -160,11 +358,25 @@ class Recorder:
         return bool(self.of_kind(DEGRADED))
 
     def stage_seconds(self) -> Dict[str, float]:
-        """Per-stage wall clock from the ``stage_end`` events (last wins)."""
+        """Per-stage wall clock, **summed** over occurrences.
+
+        A stage that runs more than once per process (e.g. a refutation
+        retry after a pool crash) used to silently keep only the last
+        duration; occurrences now accumulate — :meth:`stage_counts` says
+        how many there were.
+        """
         out: Dict[str, float] = {}
         for event in self.of_kind(STAGE_END):
             if event.stage is not None and event.seconds is not None:
-                out[event.stage] = event.seconds
+                out[event.stage] = out.get(event.stage, 0.0) + event.seconds
+        return out
+
+    def stage_counts(self) -> Dict[str, int]:
+        """How many times each stage completed (pairs with stage_seconds)."""
+        out: Dict[str, int] = {}
+        for event in self.of_kind(STAGE_END):
+            if event.stage is not None:
+                out[event.stage] = out.get(event.stage, 0) + 1
         return out
 
     def to_dicts(self) -> List[Dict[str, object]]:

@@ -68,28 +68,35 @@ def collect_stage_timings(result) -> Dict[str, float]:
     }
 
 
-def collect_counters(result) -> Dict[str, int]:
-    """Substrate effort counters of a :class:`~repro.core.SierraResult`.
+#: BENCH/RUN counter vocabulary → the registry metric each one scrapes.
+#: Substrates register these where the work happens (``core/hb.py``,
+#: ``analysis/pointsto.py``, ``core/refute.py``, ``core/detector.py``);
+#: this table is only the rename into the stable report schema.
+COUNTER_METRICS: Dict[str, str] = {
+    "harnesses": "sierra.harnesses",
+    "actions": "sierra.actions",
+    "hb_edges": "sierra.hb_edges",
+    "closure_ops": "hb.closure_ops",
+    "pointsto_worklist_iterations": "pointsto.worklist_iterations",
+    "refutation_nodes_expanded": "refutation.nodes_expanded",
+    "refutation_cache_hits": "refutation.cache_hits",
+}
+
+
+def collect_counters(result=None) -> Dict[str, int]:
+    """Substrate effort counters of the most recent pipeline run.
 
     Shared by the bench harness and the ``corpus-analyze`` batch driver so
-    both emit the same counter vocabulary.
+    both emit the same counter vocabulary. Values come from the
+    :mod:`repro.obs.metrics` registry — ``Sierra.analyze`` opens a fresh
+    scrape window (``reset_run``) per run, so the registry holds exactly
+    the finished run's effort. ``result`` is kept in the signature for
+    call-site symmetry with :func:`collect_stage_timings`; it is unused.
     """
-    report = result.report
-    ext = result.extraction
-    worklist_iterations = 0
-    for pts in (ext.phase_a, ext.result):
-        if pts is not None:
-            worklist_iterations += getattr(pts, "worklist_iterations", 0)
-    refutation = report.refutation_stats
-    return {
-        "harnesses": report.harnesses,
-        "actions": report.actions,
-        "hb_edges": report.hb_edges,
-        "closure_ops": result.shbg.closure.ops,
-        "pointsto_worklist_iterations": worklist_iterations,
-        "refutation_nodes_expanded": refutation.get("nodes_expanded", 0),
-        "refutation_cache_hits": refutation.get("cache_hits", 0),
-    }
+    from repro.obs import metrics
+
+    registry = metrics.registry()
+    return {key: int(registry.value(name)) for key, name in COUNTER_METRICS.items()}
 
 
 def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:

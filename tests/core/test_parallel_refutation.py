@@ -41,3 +41,16 @@ class TestParallelRefutationEquivalence:
         assert (
             serial.report.refutation_stats == parallel.report.refutation_stats
         )
+
+    def test_serial_and_parallel_scrape_identical_metric_totals(self, small_synth):
+        # the registry is the single source of truth for BENCH/RUN counters;
+        # a worker pool must not change what a scrape sees
+        from repro.obs import metrics
+
+        apk, _truth = small_synth
+        _analyze(apk, 1)
+        serial_totals = metrics.registry().totals()
+        _analyze(apk, 4)
+        parallel_totals = metrics.registry().totals()
+        assert serial_totals == parallel_totals
+        assert serial_totals["refutation.candidates"] > 0

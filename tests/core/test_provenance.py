@@ -1,0 +1,136 @@
+"""Race provenance: the evidence bundle behind every reported race."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Sierra, SierraOptions, render_evidence_tree
+
+
+@pytest.fixture(scope="module")
+def sudoku_result(request):
+    apk = request.getfixturevalue("opensudoku_apk")
+    return Sierra(SierraOptions()).analyze(apk)
+
+
+class TestProvenanceBundle:
+    def test_every_report_carries_provenance(self, sudoku_result):
+        reports = sudoku_result.report.reports
+        assert reports
+        for report in reports:
+            assert report.provenance is not None
+            d = report.provenance.to_dict()
+            assert set(d) == {"hb", "aliasing", "refutation", "refuted_siblings"}
+
+    def test_hb_evidence_names_the_gap(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        hb = report.provenance.hb
+        a, b = report.pair.actions
+        assert hb["ordered"] is False
+        assert set(hb["actions"]) == {str(a), str(b)}
+        # every action block names the rules that did order it elsewhere
+        for info in hb["actions"].values():
+            assert "describe" in info and "incident_rules" in info
+
+    def test_fork_evidence_chains_reach_the_actions(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        hb = report.provenance.hb
+        fork = hb["fork_evidence"]
+        assert fork is not None
+        a, b = report.pair.actions
+        assert fork["fork"] in hb["fork_points"]
+        # rule-labeled derivation chains start at the fork point and end at
+        # the respective action
+        for chain, target in ((fork["chain_to_a"], a), (fork["chain_to_b"], b)):
+            assert chain[0]["src"] == fork["fork"]
+            assert chain[-1]["dst"] == target
+            assert all(edge["rule"] for edge in chain)
+
+    def test_fork_points_are_latest_common_ancestors(self, sudoku_result):
+        shbg = sudoku_result.shbg
+        report = sudoku_result.report.reports[0]
+        a, b = report.pair.actions
+        forks = shbg.fork_points(a, b)
+        ancestors = shbg.common_ancestors(a, b)
+        assert set(forks) <= set(ancestors)
+        # no other common ancestor is ordered after a fork point
+        for fork in forks:
+            assert not any(shbg.ordered(fork, c) for c in ancestors if c != fork)
+
+    def test_aliasing_evidence_shows_overlap(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        al = report.provenance.aliasing
+        assert al["location"]["field"] == report.field_name
+        assert len(al["accesses"]) == 2
+        kinds = {access["kind"] for access in al["accesses"]}
+        assert "write" in kinds
+        assert al["overlap"]["items"], "racy accesses must share a location"
+
+    def test_refutation_evidence_for_survivor(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        ref = report.provenance.refutation
+        assert ref["enabled"] is True
+        assert ref["verdict"] == "race"
+        assert ref["refuted_ordering"] is None
+
+    def test_refutation_disabled_is_explicit(self, opensudoku_apk):
+        result = Sierra(SierraOptions(refute=False)).analyze(opensudoku_apk)
+        ref = result.report.reports[0].provenance.refutation
+        assert ref == {"enabled": False}
+
+    def test_report_json_includes_provenance(self, sudoku_result):
+        d = sudoku_result.report.to_dict()
+        json.dumps(d)  # bundle must stay JSON-clean
+        assert d["reports"]
+        for entry in d["reports"]:
+            assert entry["provenance"]["hb"]["ordered"] is False
+
+
+class TestEvidenceTree:
+    def test_render_names_all_three_pillars(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        tree = render_evidence_tree(report)
+        a, b = report.pair.actions
+        assert f"race #{report.rank}" in tree
+        assert f"actions {a} and {b} are unordered" in tree
+        assert "fork point" in tree
+        assert "aliasing" in tree
+        assert "refutation: survived" in tree
+
+    def test_render_without_provenance_degrades(self, sudoku_result):
+        report = sudoku_result.report.reports[0]
+        stashed, report.provenance = report.provenance, None
+        try:
+            assert "no provenance" in render_evidence_tree(report)
+        finally:
+            report.provenance = stashed
+
+
+class TestExplainCli:
+    def test_explain_by_rank(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "opensudoku", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "race #1" in out
+        assert "happens-before" in out
+
+    def test_explain_by_field_name(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "opensudoku", "1"]) == 0
+        field = None
+        for line in capsys.readouterr().out.splitlines():
+            if "aliasing: both may touch" in line:
+                field = line.rsplit(".", 1)[-1]
+        assert field
+        assert main(["explain", "opensudoku", field]) == 0
+        assert f"race #" in capsys.readouterr().out
+
+    def test_explain_unknown_race_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "opensudoku", "9999"]) == 2
+        assert "no reported race" in capsys.readouterr().err

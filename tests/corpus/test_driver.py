@@ -77,6 +77,28 @@ class TestFaultIsolation:
         assert record.elapsed_s >= 1.0
         assert "wall-clock budget" in record.error["message"]
 
+    def test_timeout_flushes_partial_events_and_names_stuck_stage(self, tmp_path):
+        """A killed worker can't send its result payload, but the events it
+        streamed before dying must still land in RUN_report.json — that's
+        how an operator sees *where* a timed-out app was stuck."""
+        out = tmp_path / "RUN_report.json"
+        run = run_corpus(
+            apps=["quickstart"],
+            inject_hang=["quickstart"],
+            timeout_s=1.0,
+            out_path=str(out),
+        )
+        record = run.records[0]
+        assert record.status == STATUS_TIMEOUT
+        assert record.error["stuck_stage"] == "inject-hang"
+        assert "stuck in stage 'inject-hang'" in record.error["message"]
+        kinds = [(e["kind"], e.get("stage")) for e in record.events]
+        assert ("stage_start", "inject-hang") in kinds
+        assert ("stage_end", "inject-hang") not in kinds  # it never finished
+        # and the flush survives into the written report
+        data = json.loads(out.read_text())
+        assert data["apps"]["quickstart"]["events"] == record.events
+
     def test_unknown_app_fails_the_batch_up_front(self):
         with pytest.raises(ValueError, match="unknown corpus app"):
             run_corpus(apps=["quickstart", "paper:NoSuchApp"])

@@ -25,8 +25,18 @@ class TestHooks:
     def test_emit_without_hooks_is_a_noop(self):
         obs.emit_warning("nobody is listening")  # must not raise
 
-    def test_remove_unknown_hook_is_a_noop(self):
-        obs.remove_hook(lambda e: None)
+    def test_remove_unknown_hook_warns_installed_listeners(self):
+        # unbalanced removal is a consumer bug: with listeners installed it
+        # must be surfaced as a warning event, not swallowed
+        with obs.Recorder() as rec:
+            obs.remove_hook(lambda e: None)
+        assert len(rec.events) == 1
+        warning = rec.events[0]
+        assert warning.kind == obs.WARNING
+        assert "not installed" in warning.message
+
+    def test_remove_unknown_hook_without_listeners_is_a_noop(self):
+        obs.remove_hook(lambda e: None)  # nobody to warn; must not raise
 
     def test_hook_exceptions_propagate(self):
         def broken(event):
@@ -68,6 +78,18 @@ class TestStage:
                 pass
         assert set(rec.stage_seconds()) == {"cg_pa", "refutation"}
 
+    def test_stage_seconds_sums_repeated_stages(self):
+        # a stage that runs N times reports total time and a count of N —
+        # last-wins would silently drop all but the final occurrence
+        with obs.Recorder() as rec:
+            durations = []
+            for _ in range(3):
+                with obs.stage("pointsto") as timer:
+                    pass
+                durations.append(timer.seconds)
+        assert rec.stage_seconds()["pointsto"] == pytest.approx(sum(durations))
+        assert rec.stage_counts() == {"pointsto": 3}
+
 
 class TestRecorder:
     def test_recorder_uninstalls_on_exit(self):
@@ -75,6 +97,15 @@ class TestRecorder:
             obs.emit_warning("inside")
         obs.emit_warning("outside")
         assert rec.warnings() == ["inside"]
+
+    def test_recorder_exit_is_idempotent(self):
+        rec = obs.Recorder()
+        rec.__enter__()
+        rec.__exit__(None, None, None)
+        # a second exit must not warn about unbalanced removal or raise
+        with obs.Recorder() as watcher:
+            rec.__exit__(None, None, None)
+        assert watcher.events == []
 
     def test_degraded_flag_and_views(self):
         with obs.Recorder() as rec:
@@ -92,7 +123,11 @@ class TestRecorder:
                 obs.emit_degraded("d", stage="hbg", cause="x")
         dicts = rec.to_dicts()
         json.dumps(dicts)  # round-trippable
-        assert dicts[0] == {"kind": "stage_start", "stage": "hbg"}
+        # subset check: stage events also carry span identity (span_id,
+        # ts, pid) for the trace exporter
+        assert dicts[0]["kind"] == "stage_start"
+        assert dicts[0]["stage"] == "hbg"
+        assert dicts[0]["span_id"]
         assert dicts[1]["detail"] == {"cause": "x"}
         assert "seconds" in dicts[2]
 

@@ -1,0 +1,124 @@
+"""The typed metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("x.ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("x.ops").inc(-1)
+
+    def test_reregistration_returns_same_instrument(self, registry):
+        a = registry.counter("x.ops", "help once")
+        b = registry.counter("x.ops")
+        assert a is b
+        a.inc()
+        assert registry.value("x.ops") == 1
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("x.level")
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_updates_stats(self, registry):
+        h = registry.histogram("x.sizes", buckets=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 555
+        assert h.mean() == 185.0
+        d = h.to_dict()
+        assert d["min"] == 5 and d["max"] == 500
+        assert d["buckets"] == {"10": 1, "100": 1, "+Inf": 1}
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("x.bad", buckets=(10, 1))
+
+    def test_scrape_value_is_sum(self, registry):
+        h = registry.histogram("x.sizes")
+        h.observe(2)
+        h.observe(3)
+        assert registry.value("x.sizes") == 5
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self, registry):
+        registry.counter("x.ops")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x.ops")
+
+    def test_value_of_unregistered_metric_defaults(self, registry):
+        assert registry.value("never.registered") == 0
+        assert registry.value("never.registered", default=-1) == -1
+
+    def test_totals_is_flat_and_sorted(self, registry):
+        registry.counter("b.ops").inc(2)
+        registry.gauge("a.level").set(1)
+        assert registry.totals() == {"a.level": 1, "b.ops": 2}
+
+    def test_collect_is_json_ready_with_help(self, registry):
+        registry.counter("x.ops", "operations").inc()
+        h = registry.histogram("x.sizes")
+        h.observe(7)
+        snapshot = registry.collect()
+        json.dumps(snapshot)
+        assert snapshot["x.ops"] == {"type": "counter", "value": 1, "help": "operations"}
+        assert snapshot["x.sizes"]["type"] == "histogram"
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        c = registry.counter("x.ops", "kept")
+        c.inc(9)
+        registry.reset()
+        assert registry.names() == ["x.ops"]
+        assert registry.value("x.ops") == 0
+        assert registry.get("x.ops") is c and c.help == "kept"
+
+
+class TestPipelineIntegration:
+    def test_analyze_opens_a_fresh_scrape_window(self, quickstart_apk):
+        from repro.core import Sierra, SierraOptions
+
+        metrics.counter("stale.from.before").inc(99)
+        Sierra(SierraOptions()).analyze(quickstart_apk)
+        reg = metrics.registry()
+        assert reg.value("stale.from.before") == 0
+        assert reg.value("sierra.actions") > 0
+        assert reg.value("hb.closure_ops") > 0
+        assert reg.value("pointsto.worklist_iterations") > 0
+        assert reg.value("refutation.candidates") > 0
+
+    def test_counters_match_report(self, quickstart_apk):
+        from repro.core import Sierra, SierraOptions
+
+        result = Sierra(SierraOptions()).analyze(quickstart_apk)
+        reg = metrics.registry()
+        assert reg.value("sierra.actions") == result.report.actions
+        assert reg.value("sierra.hb_edges") == result.report.hb_edges
+        assert (
+            reg.value("refutation.nodes_expanded")
+            == result.report.refutation_stats["nodes_expanded"]
+        )

@@ -89,6 +89,55 @@ class TestCorpusAnalyzeSmoke:
             assert record["counters"]["actions"] > 0
 
 
+class TestTraceExport:
+    """The --trace workflow end to end, plus the schema gate the bench
+    driver (benchmarks/run_bench.py) runs against every emitted trace."""
+
+    def test_analyze_trace_flag_emits_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main(["analyze", "quickstart", "--trace", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().err
+        assert obs.validate_trace_file(str(out)) == []
+        data = json.loads(out.read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        # sub-stage spans, not just the three coarse stages
+        assert {"cg_pa", "hbg", "refutation"} <= names
+        assert any(name.startswith("hb.rule.") for name in names)
+        assert any(name.startswith("pointsto.") for name in names)
+        assert any(name.startswith("refute.") for name in names)
+
+    def test_trace_memory_flag_attaches_rss(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["analyze", "quickstart", "--trace", str(out), "--trace-memory"]
+        ) == 0
+        data = json.loads(out.read_text())
+        ends = [e for e in data["traceEvents"] if e["ph"] == "E"]
+        assert any(e["args"].get("rss_peak_kb", 0) > 0 for e in ends)
+
+    def test_bench_driver_trace_gate(self):
+        import importlib.util
+        from pathlib import Path
+
+        gate_path = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_gate", gate_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.validate_trace_gate("quickstart") == []
+
+
 class TestRegressionGate:
     @staticmethod
     def _record(cg_pa, hbg):
