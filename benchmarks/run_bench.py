@@ -5,12 +5,21 @@ Usage (from the repo root):
 
     PYTHONPATH=src python benchmarks/run_bench.py            # gate (CI)
     PYTHONPATH=src python benchmarks/run_bench.py --update   # refresh baseline
+    PYTHONPATH=src python benchmarks/run_bench.py --history perf.db
+                                                  # gate vs the run ledger
 
 The gate re-runs the pipeline benches (skipping the slower naive-baseline
 speedup measurement so the whole run stays under a minute), then fails with
 exit code 1 if any stage of any app regressed more than 2x against the
 committed ``BENCH_pipeline.json``. ``--update`` instead re-runs the full
 suite — substrate speedups included — and rewrites the baseline in place.
+
+``--history <db>`` switches the baseline source to the run-history ledger:
+the bench records itself as a new ledger run and gates against the **last
+recorded bench run** via ``repro.obs.diffing`` (so the baseline rolls
+forward with every green run instead of living in a committed JSON file).
+The first run against an empty ledger records itself and passes. Exit 2 on
+a malformed ledger — corrupt history must never read as "no regressions".
 
 The gate also runs one traced pipeline and validates the emitted Chrome
 trace-event JSON (required keys, monotonic per-track timestamps, balanced
@@ -64,6 +73,38 @@ def validate_trace_gate(app: str = TRACE_APP) -> list:
         Path(trace_path).unlink(missing_ok=True)
 
 
+def gate_against_history(db_path: str, threshold: float) -> int:
+    """Record this bench into the ledger and gate against the previous one."""
+    from repro.obs.diffing import diff_runs, render_diff
+    from repro.obs.history import KIND_BENCH, LedgerError, RunLedger
+
+    try:
+        with RunLedger(db_path) as ledger:
+            had_baseline = bool(ledger.runs(kind=KIND_BENCH))
+        current = run_bench(speedup_app=None, out_path=None, history=db_path)
+        if not had_baseline:
+            print(f"recorded first bench run {current['run_id']} in {db_path}; "
+                  "nothing to gate against yet")
+            return 0
+        with RunLedger(db_path) as ledger:
+            # resolve by kind so interleaved analyze runs in a shared ledger
+            # never become the bench baseline; threshold here is a slowdown
+            # factor (2.0x) while diffing wants the relative increase
+            base = ledger.resolve("latest~1", kind=KIND_BENCH)
+            cand = ledger.resolve("latest", kind=KIND_BENCH)
+            diff = diff_runs(
+                ledger,
+                str(base["run_id"]),
+                str(cand["run_id"]),
+                time_threshold=threshold - 1.0,
+            )
+        print(render_diff(diff))
+        return diff.gate_exit_code()
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -72,9 +113,14 @@ def main(argv=None) -> int:
                         help="baseline file (default: repo BENCH_pipeline.json)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="allowed slowdown factor per stage (default 2.0)")
+    parser.add_argument("--history", metavar="DB", default=None,
+                        help="gate against the last bench run in this ledger "
+                        "instead of the committed baseline (records this run)")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
+    if args.history:
+        return gate_against_history(args.history, args.threshold)
     if args.update:
         run_bench(out_path=str(args.baseline))
         print(f"baseline updated: {args.baseline} "

@@ -20,7 +20,9 @@ the same over the reproduction's corpus:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+import time
 from typing import List, Optional, Tuple
 
 from repro import obs
@@ -101,6 +103,12 @@ def _options_from(args: argparse.Namespace) -> SierraOptions:
     )
 
 
+def _history_path(args: argparse.Namespace) -> Optional[str]:
+    from repro.obs.history import history_path_from_env
+
+    return history_path_from_env(getattr(args, "history", None))
+
+
 class _TraceSession:
     """Context manager wiring ``--trace`` / ``--trace-memory`` around a run:
     installs a :class:`TraceCollector` hook, optionally enables per-span
@@ -135,9 +143,24 @@ class _TraceSession:
 # ----------------------------------------------------------------------
 def cmd_analyze(args: argparse.Namespace) -> int:
     apk = load_app(args.app)
+    options = _options_from(args)
+    started = time.monotonic()
     with _TraceSession(args.trace, args.trace_memory, apk.name) as trace:
-        result = Sierra(_options_from(args)).analyze(apk)
+        result = Sierra(options).analyze(apk)
+    elapsed = time.monotonic() - started
     report = result.report
+
+    history = _history_path(args)
+    if history:
+        from repro.obs.history import KIND_ANALYZE, RunLedger
+
+        with RunLedger(history) as ledger:
+            run_id = ledger.begin_run(
+                KIND_ANALYZE, dataclasses.asdict(options), meta={"app": apk.name}
+            )
+            ledger.record_analysis(run_id, apk.name, result, elapsed_s=elapsed)
+        print(f"recorded run {run_id} in {history}", file=sys.stderr)
+
     if trace.collector is not None:
         print(
             f"wrote {args.trace} ({len(trace.collector.events)} events; "
@@ -266,16 +289,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.history import LedgerError
     from repro.perf import DEFAULT_APPS, SPEEDUP_APP, run_bench
 
     apps = args.apps or DEFAULT_APPS
     speedup_app = None if args.no_speedup else (args.speedup_app or SPEEDUP_APP)
-    data = run_bench(
-        apps=apps,
-        speedup_app=speedup_app,
-        out_path=args.out,
-        parallelism=args.parallelism,
-    )
+    try:
+        data = run_bench(
+            apps=apps,
+            speedup_app=speedup_app,
+            out_path=args.out,
+            parallelism=args.parallelism,
+            history=_history_path(args),
+        )
+    except LedgerError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    if data.get("run_id"):
+        print(f"recorded run {data['run_id']}", file=sys.stderr)
     rows = []
     for name, record in data["apps"].items():
         stages = record["stages"]
@@ -321,6 +352,8 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
             line += f" — {record.degradations[0]}"
         print(line, flush=True)
 
+    from repro.obs.history import LedgerError
+
     try:
         run = run_corpus(
             apps=args.apps,
@@ -331,8 +364,9 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
             inject_fail=set(args.inject_fail or ()),
             inject_hang=set(args.inject_hang or ()),
             progress=progress,
+            history=_history_path(args),
         )
-    except ValueError as exc:
+    except (ValueError, LedgerError) as exc:
         # same exit code argparse uses for unusable invocations
         print(f"corpus-analyze: {exc}", file=sys.stderr)
         return 2
@@ -345,7 +379,79 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"wrote {args.out}")
+    if getattr(run, "run_id", None):
+        print(f"recorded run {run.run_id} in {run.history_path}", file=sys.stderr)
     return run.exit_code
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Differential run analysis over the history ledger (exit 0 clean,
+    1 when ``--gate`` trips, 2 on malformed ledgers / bad run refs)."""
+    from repro.obs.diffing import (
+        DEFAULT_METRIC_THRESHOLD,
+        DEFAULT_TIME_THRESHOLD,
+        diff_runs,
+        render_diff,
+    )
+    from repro.obs.history import LedgerError, RunLedger
+
+    history = _history_path(args)
+    if not history:
+        print(
+            "diff: no history ledger (pass --history PATH or set REPRO_HISTORY)",
+            file=sys.stderr,
+        )
+        return 2
+    time_threshold = (
+        DEFAULT_TIME_THRESHOLD if args.time_threshold is None else args.time_threshold
+    )
+    metric_threshold = (
+        DEFAULT_METRIC_THRESHOLD
+        if args.metric_threshold is None
+        else args.metric_threshold
+    )
+    try:
+        with RunLedger(history) as ledger:
+            diff = diff_runs(
+                ledger,
+                args.run_a,
+                args.run_b,
+                time_threshold=time_threshold,
+                metric_threshold=metric_threshold,
+            )
+    except LedgerError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(render_diff(diff))
+    return diff.gate_exit_code() if args.gate else 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the history ledger as one self-contained HTML file."""
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.history import LedgerError, RunLedger
+
+    history = _history_path(args)
+    if not history:
+        print(
+            "dashboard: no history ledger (pass --history PATH or set "
+            "REPRO_HISTORY)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with RunLedger(history) as ledger:
+            write_dashboard(ledger, args.out, title=args.title)
+    except LedgerError as exc:
+        print(f"dashboard: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
@@ -387,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--parallelism", type=int, default=1,
                        help="refutation worker processes (1 = serial)")
 
+    def add_history_flag(p):
+        p.add_argument("--history", metavar="DB", default=None,
+                       help="append this run to a sqlite run-history ledger "
+                       "(default: $REPRO_HISTORY when set)")
+
     analyze = sub.add_parser("analyze", help="run the SIERRA pipeline on an app")
     analyze.add_argument("app")
     analyze.add_argument("--top", type=int, default=25, help="reports to print")
@@ -401,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="capture peak-RSS (and tracemalloc, when "
                          "tracing) per span in the trace")
     add_analysis_flags(analyze)
+    add_history_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     explain = sub.add_parser(
@@ -448,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: APP's worker sleeps past the "
                        "budget (testing aid, repeatable)")
     add_analysis_flags(batch)
+    add_history_flag(batch)
     batch.set_defaults(func=cmd_corpus_analyze)
 
     bench = sub.add_parser("bench", help="run the perf harness, emit BENCH_pipeline.json")
@@ -461,7 +574,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="app for the substrate speedup measurement")
     bench.add_argument("--no-speedup", action="store_true",
                        help="skip the naive-vs-fast substrate comparison")
+    add_history_flag(bench)
     bench.set_defaults(func=cmd_bench)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential run analysis: new/fixed races, verdict flips, "
+        "timing and metric deltas between two ledger runs",
+    )
+    diff.add_argument("run_a", help="baseline run (id, prefix, latest, latest~N)")
+    diff.add_argument("run_b", help="candidate run (id, prefix, latest, latest~N)")
+    diff.add_argument("--gate", action="store_true",
+                      help="exit 1 on new races or timing regressions")
+    diff.add_argument("--time-threshold", type=float, default=None,
+                      help="relative stage-slowdown threshold (default 0.25)")
+    diff.add_argument("--metric-threshold", type=float, default=None,
+                      help="relative metric-delta threshold (default 0.25)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+    add_history_flag(diff)
+    diff.set_defaults(func=cmd_diff)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render the run-history ledger as a single self-contained "
+        "HTML file (no external resources)",
+    )
+    dashboard.add_argument("-o", "--out", default="dashboard.html",
+                           help="output HTML path (default dashboard.html)")
+    dashboard.add_argument("--title", default="SIERRA run history",
+                           help="page title")
+    add_history_flag(dashboard)
+    dashboard.set_defaults(func=cmd_dashboard)
     return parser
 
 

@@ -82,6 +82,31 @@ def is_benign_guard(pair: RacyPair) -> bool:
     )
 
 
+def _stable_sort_key(report: RaceReport):
+    """Total order over reports: priority first, then identity fields.
+
+    The tail keys (kind, location repr, per-access method/instruction) make
+    the order — and therefore ranks and race fingerprints recorded in the
+    run-history ledger — reproducible across runs and OS process orderings
+    even when two races tie on priority, field name, *and* action pair
+    (e.g. two instruction pairs on the same cell).
+    """
+    pair = report.pair
+    site1, site2 = sorted(
+        (a.method_signature, repr(a.instr), a.kind)
+        for a in (pair.access1, pair.access2)
+    )
+    return (
+        -report.priority,
+        report.field_name,
+        pair.actions,
+        pair.kind,
+        repr(pair.location),
+        site1,
+        site2,
+    )
+
+
 def rank_races(extraction: Extraction, pairs: List[RacyPair]) -> List[RaceReport]:
     """Score, sort (most-dangerous first) and rank surviving races."""
     reports: List[RaceReport] = []
@@ -105,7 +130,7 @@ def rank_races(extraction: Extraction, pairs: List[RacyPair]) -> List[RaceReport
                 benign_guard=benign,
             )
         )
-    reports.sort(key=lambda r: (-r.priority, r.field_name, r.pair.actions))
+    reports.sort(key=_stable_sort_key)
     for rank, report in enumerate(reports, start=1):
         report.rank = rank
     return reports

@@ -57,6 +57,40 @@ class RaceProvenance:
             "refuted_siblings": [dict(s) for s in self.refuted_siblings],
         }
 
+    def rule_chain_signature(self) -> str:
+        """Canonical rendering of the HB-rule derivation behind this race.
+
+        The rule names (not action ids) along the fork point's chains to
+        each action, with the two chains sorted so the signature does not
+        depend on which access the pair listed first. Feeds the stable
+        race fingerprint (:func:`repro.core.report.race_fingerprint`):
+        ranks and action ids shift between runs, the *derivation shape*
+        does not.
+        """
+        fork = self.hb.get("fork_evidence") or {}
+        chains = sorted(
+            ",".join(str(e.get("rule", "?")) for e in fork.get(key) or [])
+            for key in ("chain_to_a", "chain_to_b")
+        )
+        if not any(chains):
+            return "no-fork"
+        return ";".join(chains)
+
+    def verdict(self) -> str:
+        """One-word refutation verdict for cross-run comparison.
+
+        ``survived`` (refutation ran, could not disprove), ``survived-
+        budget-exceeded`` (survived only because the path budget ran out —
+        a weaker claim), or ``unrefuted`` (refutation was off). Diffing
+        flags a fingerprint whose verdict changes between runs even though
+        the race persisted.
+        """
+        if not self.refutation.get("enabled"):
+            return "unrefuted"
+        if self.refutation.get("budget_exceeded"):
+            return "survived-budget-exceeded"
+        return "survived"
+
 
 def _edge_dicts(path: Optional[List[HBEdge]]) -> List[Dict[str, object]]:
     if not path:

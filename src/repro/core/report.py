@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -9,6 +10,48 @@ from repro.core.races import RacyPair
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.provenance import RaceProvenance
+
+
+#: hex digits kept of the sha256 race fingerprint (64 bits: collision-safe
+#: for any plausible corpus, short enough to read in a diff)
+FINGERPRINT_LEN = 16
+
+
+def race_fingerprint(race: "RaceReport") -> str:
+    """Stable identity of a race across runs.
+
+    A canonical sha256 over what the race *is* — the racy memory cell, the
+    two access sites, and the HB-rule derivation shape from provenance —
+    never over how the run happened to present it (rank, priority, action
+    ids, list order). Two runs that report the same race therefore agree
+    on its fingerprint, which is what lets ``repro diff`` classify races
+    as new/fixed/persisting between ledger runs.
+
+    The access sites are sorted so access1/access2 order is immaterial;
+    abstract-object reprs (``obj(Class@method:site)``) are allocation-site
+    based and deterministic for a deterministic analysis.
+    """
+    pair = race.pair
+    access_sites = sorted(
+        f"{a.kind}|{a.field_name}|{a.method_signature}|{a.instr!r}"
+        for a in (pair.access1, pair.access2)
+    )
+    hb_chain = (
+        race.provenance.rule_chain_signature()
+        if race.provenance is not None
+        else "no-provenance"
+    )
+    canonical = "\n".join(
+        (
+            f"location={pair.location!r}",
+            f"static={pair.location.is_static}",
+            f"kind={pair.kind}",
+            f"site1={access_sites[0]}",
+            f"site2={access_sites[1]}",
+            f"hb={hb_chain}",
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:FINGERPRINT_LEN]
 
 
 @dataclass
@@ -22,6 +65,11 @@ class RaceReport:
     benign_guard: bool  # guard-variable race (§6.5): true but likely benign
     rank: int = 0
     provenance: Optional["RaceProvenance"] = None  # evidence bundle (repro explain)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable cross-run identity (see :func:`race_fingerprint`)."""
+        return race_fingerprint(self)
 
     @property
     def field_name(self) -> str:
@@ -93,6 +141,7 @@ class SierraReport:
     def _report_dict(race: RaceReport) -> Dict[str, object]:
         out: Dict[str, object] = {
             "rank": race.rank,
+            "fingerprint": race.fingerprint,
             "field": race.field_name,
             "kind": race.kind,
             "tier": race.tier,

@@ -37,8 +37,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs
 
-#: JSON layout version of RUN_report.json
-SCHEMA = 1
+#: JSON layout version of RUN_report.json (2: run_id/history provenance
+#: block embedded when the batch records into a run-history ledger)
+SCHEMA = 2
 
 STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
@@ -81,6 +82,11 @@ class AppRunRecord:
     #: {"type", "message", "traceback"} for error/timeout statuses
     error: Optional[Dict[str, str]] = None
     isolated: bool = True
+    #: transport-only (ledger rows computed in the worker, where the report
+    #: objects live): not serialized into RUN_report.json — the ledger is
+    #: their durable home, the JSON report stays a summary
+    races: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -110,6 +116,9 @@ class RunReport:
     isolated: bool = True
     options: Dict[str, object] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: set when the batch recorded into a run-history ledger
+    run_id: Optional[str] = None
+    history_path: Optional[str] = None
 
     def by_status(self, status: str) -> List[AppRunRecord]:
         return [r for r in self.records if r.status == status]
@@ -137,6 +146,8 @@ class RunReport:
             "timeout_s": self.timeout_s,
             "isolated": self.isolated,
             "options": dict(self.options),
+            "run_id": self.run_id,
+            "history": self.history_path,
             "apps": {r.app: r.to_dict() for r in self.records},
             "summary": self.summary(),
         }
@@ -165,6 +176,8 @@ def _execute_app(
     """
     from repro.cli import load_app
     from repro.core import Sierra, SierraOptions
+    from repro.obs import metrics
+    from repro.obs.history import race_row
     from repro.perf import collect_counters, collect_stage_timings
 
     with obs.Recorder() as recorder:
@@ -189,6 +202,10 @@ def _execute_app(
         "warnings": recorder.warnings(),
         "degradations": recorder.degradations(),
         "events": recorder.to_dicts(),
+        # ledger rows, computed here where the report objects live: the
+        # parent records them without re-running the analysis
+        "races": [race_row(r) for r in report.reports],
+        "metrics": metrics.registry().collect(),
     }
 
 
@@ -386,6 +403,23 @@ def _record_kwargs(payload: Dict[str, object]) -> Dict[str, object]:
     return {k: v for k, v in payload.items() if k in allowed}
 
 
+def _aggregate_status(records: List[AppRunRecord]) -> str:
+    """Overall status for the ledger's ``*`` row (worst app wins)."""
+    for status in (STATUS_ERROR, STATUS_TIMEOUT, STATUS_DEGRADED):
+        if any(r.status == status for r in records):
+            return status
+    return STATUS_OK
+
+
+def _sum_stages(records: List[AppRunRecord]) -> Dict[str, float]:
+    """Per-stage wall clock summed across the batch's apps."""
+    totals: Dict[str, float] = {}
+    for record in records:
+        for stage, seconds in record.stages.items():
+            totals[stage] = totals.get(stage, 0.0) + float(seconds)
+    return {stage: round(s, 6) for stage, s in sorted(totals.items())}
+
+
 def run_corpus(
     apps: Optional[Sequence[str]] = None,
     options=None,
@@ -395,6 +429,7 @@ def run_corpus(
     inject_fail: Sequence[str] = (),
     inject_hang: Sequence[str] = (),
     progress: Optional[Callable[[AppRunRecord], None]] = None,
+    history: Optional[str] = None,
 ) -> RunReport:
     """Run the pipeline over ``apps`` (default: the full corpus).
 
@@ -408,6 +443,12 @@ def run_corpus(
     ``inject_fail`` / ``inject_hang`` name apps whose worker raises /
     sleeps past the budget before analysis — the fault-injection hooks the
     acceptance tests (and operators validating a deployment) use.
+
+    ``history`` names a run-history ledger db: the batch appends one run
+    row, one app row per analyzed app (stages, metrics scrape, fingerprinted
+    races) and one ``*`` aggregate row (summed stages, overall status), and
+    ``RUN_report.json`` embeds the minted run id. A malformed ledger raises
+    :class:`~repro.obs.history.LedgerError` *before* any app runs.
 
     Unknown app names fail the whole batch up front with :class:`ValueError`
     — a batch that silently analyzed 19 of 20 requested apps is exactly the
@@ -438,23 +479,60 @@ def run_corpus(
                 file=sys.stderr,
             )
 
+    ledger = None
+    if history:
+        from repro.obs.history import AGGREGATE_APP, KIND_CORPUS, RunLedger
+
+        # open (and validate) the ledger before any app runs: a corrupt db
+        # must fail the batch up front, not after 20 apps of work
+        ledger = RunLedger(history)
+
     run = RunReport(
         timeout_s=timeout_s, isolated=mp_context is not None, options=options_dict
     )
-    t0 = time.perf_counter()
-    for name in names:
-        fail = name in inject_fail
-        hang = hang_s if name in inject_hang else 0.0
-        if mp_context is not None:
-            record = _run_one_isolated(
-                mp_context, name, options_dict, timeout_s, fail, hang
+    try:
+        if ledger is not None:
+            run.run_id = ledger.begin_run(
+                KIND_CORPUS, options_dict, meta={"apps": names}
             )
-        else:
-            record = _run_one_inline(name, options_dict, fail, hang)
-        run.records.append(record)
-        if progress is not None:
-            progress(record)
-    run.elapsed_s = time.perf_counter() - t0
+            run.history_path = history
+        t0 = time.perf_counter()
+        for name in names:
+            fail = name in inject_fail
+            hang = hang_s if name in inject_hang else 0.0
+            if mp_context is not None:
+                record = _run_one_isolated(
+                    mp_context, name, options_dict, timeout_s, fail, hang
+                )
+            else:
+                record = _run_one_inline(name, options_dict, fail, hang)
+            run.records.append(record)
+            if ledger is not None:
+                ledger.record_app(
+                    run.run_id,
+                    name,
+                    status=record.status,
+                    elapsed_s=record.elapsed_s,
+                    stages=record.stages,
+                    metrics=record.metrics,
+                    races=record.races,
+                )
+            if progress is not None:
+                progress(record)
+        run.elapsed_s = time.perf_counter() - t0
+        if ledger is not None:
+            ledger.record_app(
+                run.run_id,
+                AGGREGATE_APP,
+                status=_aggregate_status(run.records),
+                elapsed_s=run.elapsed_s,
+                stages=_sum_stages(run.records),
+                metrics={},
+                races=(),
+            )
+    finally:
+        if ledger is not None:
+            ledger.close()
     if out_path:
         run.write(out_path)
     return run

@@ -1,12 +1,15 @@
-"""Observability: hierarchical spans, the metrics registry, trace export.
+"""Observability: spans, metrics, trace export, and the run-history stack.
 
 See :mod:`repro.obs.diagnostics` (span/stage/hook bus),
 :mod:`repro.obs.metrics` (typed counter/gauge/histogram registry),
-:mod:`repro.obs.tracing` (Chrome trace-event export), and
+:mod:`repro.obs.tracing` (Chrome trace-event export),
+:mod:`repro.obs.history` (append-only sqlite run ledger),
+:mod:`repro.obs.diffing` (differential run analysis / ``repro diff``),
+:mod:`repro.obs.dashboard` (self-contained HTML dashboard), and
 ``docs/observability.md``.
 """
 
-from repro.obs import metrics, tracing
+from repro.obs import dashboard, diffing, history, metrics, tracing
 from repro.obs.diagnostics import (
     DEGRADED,
     Recorder,
@@ -43,9 +46,12 @@ __all__ = [
     "TraceCollector",
     "WARNING",
     "add_hook",
+    "dashboard",
+    "diffing",
     "emit",
     "emit_degraded",
     "emit_warning",
+    "history",
     "metrics",
     "reemit",
     "remove_hook",

@@ -1,0 +1,375 @@
+"""Run-history ledger: an append-only sqlite3 record of analysis runs.
+
+A single run's output answers "what did this run find"; production
+operation needs "what *changed* since the last run, and is the pipeline
+getting slower" (the diff-based reporting shape RacerD deploys at scale).
+This module is the cross-run pillar under that question: every
+``--history``-enabled ``repro analyze`` / ``repro corpus-analyze`` /
+``repro bench`` appends one run to a stdlib-``sqlite3`` ledger, and
+:mod:`repro.obs.diffing` / :mod:`repro.obs.dashboard` read it back.
+
+Per run the ledger records:
+
+* a **run row** — run id, UTC timestamp, run kind, a digest of the
+  analysis options (diffing warns when comparing runs whose options
+  differ), and free-form metadata;
+* one **app row** per analyzed app (plus one ``*`` aggregate row for
+  batch runs) — status, elapsed wall clock, per-stage timings, and a
+  full metrics-registry scrape;
+* one **race row** per ranked race — keyed by the *stable race
+  fingerprint* (:func:`repro.core.report.race_fingerprint`), with the
+  full report JSON (provenance included) so a dashboard can drill from
+  a fingerprint to its evidence tree without re-running the analysis.
+
+The ledger is append-only by convention: nothing in this module updates
+or deletes rows, and the diff/dashboard consumers treat it as an event
+log. The db path comes from ``--history <db>`` or the ``REPRO_HISTORY``
+environment variable. A file that is not a ledger (corrupt, not sqlite,
+wrong tables) raises :class:`LedgerError`, which the CLI maps to exit
+code 2 — malformed history must never look like "no regressions".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import uuid
+from datetime import datetime, timezone
+from hashlib import sha256
+from typing import Dict, List, Optional, Sequence
+
+#: layout version stamped on every run row this code writes
+LEDGER_SCHEMA = 1
+
+#: environment fallback for the ledger path (--history wins)
+HISTORY_ENV = "REPRO_HISTORY"
+
+#: app name of the aggregate row a batch run writes alongside per-app rows
+AGGREGATE_APP = "*"
+
+#: run kinds, for filtering ("bench" runs gate timings, "analyze"/"corpus"
+#: runs carry fingerprinted races)
+KIND_ANALYZE = "analyze"
+KIND_CORPUS = "corpus"
+KIND_BENCH = "bench"
+
+
+class LedgerError(Exception):
+    """The ledger file is unusable (corrupt db, wrong schema, bad ref)."""
+
+
+def history_path_from_env(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the ledger path: explicit flag first, then ``REPRO_HISTORY``."""
+    if explicit:
+        return explicit
+    return os.environ.get(HISTORY_ENV) or None
+
+
+def options_digest(options: Dict[str, object]) -> str:
+    """Short stable digest of an options dict (diffing compares these)."""
+    canonical = json.dumps(options, sort_keys=True, default=repr)
+    return sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def new_run_id() -> str:
+    """Sortable-by-time, collision-safe run id (``r20260806T120000-3fb2a1``)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+    return f"r{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id         TEXT PRIMARY KEY,
+    ts_utc         TEXT NOT NULL,
+    kind           TEXT NOT NULL,
+    schema         INTEGER NOT NULL,
+    options_digest TEXT NOT NULL,
+    options_json   TEXT NOT NULL,
+    meta_json      TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS app_runs (
+    run_id       TEXT NOT NULL REFERENCES runs(run_id),
+    app          TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    elapsed_s    REAL NOT NULL DEFAULT 0,
+    stages_json  TEXT NOT NULL DEFAULT '{}',
+    metrics_json TEXT NOT NULL DEFAULT '{}',
+    race_count   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, app)
+);
+CREATE TABLE IF NOT EXISTS races (
+    run_id      TEXT NOT NULL REFERENCES runs(run_id),
+    app         TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    rank        INTEGER NOT NULL,
+    field       TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    tier        TEXT NOT NULL,
+    priority    INTEGER NOT NULL,
+    verdict     TEXT NOT NULL,
+    report_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, app, fingerprint)
+);
+CREATE INDEX IF NOT EXISTS races_by_fingerprint ON races(fingerprint);
+"""
+
+
+def race_row(report) -> Dict[str, object]:
+    """JSON-ready ledger row for one :class:`~repro.core.report.RaceReport`.
+
+    Computed where the report objects live (a corpus worker ships these
+    through its result pipe; the parent never has to re-run the analysis
+    to fingerprint a race).
+    """
+    from repro.core.report import SierraReport
+
+    verdict = (
+        report.provenance.verdict() if report.provenance is not None else "unrefuted"
+    )
+    return {
+        "fingerprint": report.fingerprint,
+        "rank": report.rank,
+        "field": report.field_name,
+        "kind": report.kind,
+        "tier": report.tier,
+        "priority": report.priority,
+        "verdict": verdict,
+        "report": SierraReport._report_dict(report),
+    }
+
+
+class RunLedger:
+    """One open ledger database (also a context manager).
+
+    >>> with RunLedger(path) as ledger:
+    ...     run_id = ledger.begin_run("analyze", options_dict)
+    ...     ledger.record_app(run_id, app, status="ok", ...)
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._db = sqlite3.connect(path)
+            self._db.executescript(_TABLES)
+            self._db.commit()
+        except sqlite3.DatabaseError as exc:
+            raise LedgerError(f"{path}: not a usable run ledger ({exc})") from exc
+        self._db.row_factory = sqlite3.Row
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- writing -------------------------------------------------------
+    def begin_run(
+        self,
+        kind: str,
+        options: Dict[str, object],
+        run_id: Optional[str] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Append a run row; returns the (possibly minted) run id."""
+        run_id = run_id or new_run_id()
+        try:
+            self._db.execute(
+                "INSERT INTO runs (run_id, ts_utc, kind, schema, options_digest,"
+                " options_json, meta_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                    kind,
+                    LEDGER_SCHEMA,
+                    options_digest(options),
+                    json.dumps(options, sort_keys=True, default=repr),
+                    json.dumps(meta or {}, sort_keys=True),
+                ),
+            )
+            self._db.commit()
+        except sqlite3.DatabaseError as exc:
+            raise LedgerError(f"{self.path}: cannot append run ({exc})") from exc
+        return run_id
+
+    def record_app(
+        self,
+        run_id: str,
+        app: str,
+        status: str = "ok",
+        elapsed_s: float = 0.0,
+        stages: Optional[Dict[str, float]] = None,
+        metrics: Optional[Dict[str, object]] = None,
+        races: Sequence[Dict[str, object]] = (),
+    ) -> None:
+        """Append one app's outcome (stages, metrics scrape, race rows)."""
+        try:
+            self._db.execute(
+                "INSERT INTO app_runs (run_id, app, status, elapsed_s,"
+                " stages_json, metrics_json, race_count)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    app,
+                    status,
+                    float(elapsed_s),
+                    json.dumps(stages or {}, sort_keys=True),
+                    json.dumps(metrics or {}, sort_keys=True),
+                    len(races),
+                ),
+            )
+            for race in races:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO races (run_id, app, fingerprint, rank,"
+                    " field, kind, tier, priority, verdict, report_json)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        app,
+                        str(race["fingerprint"]),
+                        int(race["rank"]),
+                        str(race["field"]),
+                        str(race["kind"]),
+                        str(race["tier"]),
+                        int(race["priority"]),
+                        str(race["verdict"]),
+                        json.dumps(race.get("report", {}), sort_keys=True),
+                    ),
+                )
+            self._db.commit()
+        except sqlite3.DatabaseError as exc:
+            raise LedgerError(f"{self.path}: cannot append app row ({exc})") from exc
+
+    def record_analysis(self, run_id: str, app: str, result, elapsed_s: float = 0.0):
+        """Record one in-process :class:`~repro.core.SierraResult`.
+
+        Scrapes the live metrics registry — callers record immediately
+        after ``analyze()`` returns, while the run's scrape window is
+        still the current one.
+        """
+        from repro.obs import metrics
+        from repro.perf.bench import collect_stage_timings
+
+        report = result.report
+        self.record_app(
+            run_id,
+            app,
+            status="ok",
+            elapsed_s=elapsed_s or report.time_total,
+            stages=collect_stage_timings(result),
+            metrics=metrics.registry().collect(),
+            races=[race_row(r) for r in report.reports],
+        )
+
+    # -- reading -------------------------------------------------------
+    def _query(self, sql: str, args: Sequence[object] = ()) -> List[sqlite3.Row]:
+        try:
+            return self._db.execute(sql, tuple(args)).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise LedgerError(f"{self.path}: malformed ledger ({exc})") from exc
+
+    @staticmethod
+    def _load_json(blob: str, what: str) -> Dict[str, object]:
+        try:
+            return json.loads(blob)
+        except (TypeError, ValueError) as exc:
+            raise LedgerError(f"malformed ledger: bad {what} JSON ({exc})") from exc
+
+    def runs(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """All run rows, oldest first (insertion order breaks ts ties)."""
+        sql = "SELECT * FROM runs"
+        args: List[object] = []
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            args.append(kind)
+        sql += " ORDER BY ts_utc, rowid"
+        out = []
+        for row in self._query(sql, args):
+            out.append(
+                {
+                    "run_id": row["run_id"],
+                    "ts_utc": row["ts_utc"],
+                    "kind": row["kind"],
+                    "schema": row["schema"],
+                    "options_digest": row["options_digest"],
+                    "options": self._load_json(row["options_json"], "options"),
+                    "meta": self._load_json(row["meta_json"], "meta"),
+                }
+            )
+        return out
+
+    def resolve(self, ref: str, kind: Optional[str] = None) -> Dict[str, object]:
+        """Resolve a run reference to its run row.
+
+        Accepts a full run id, a unique id prefix, ``latest``, or
+        ``latest~N`` (N runs before the latest). Unknown or ambiguous
+        references raise :class:`LedgerError`.
+        """
+        runs = self.runs(kind=kind)
+        if not runs:
+            raise LedgerError(f"{self.path}: ledger records no runs")
+        if ref == "latest" or ref.startswith("latest~"):
+            back = 0
+            if ref.startswith("latest~"):
+                try:
+                    back = int(ref[len("latest~"):])
+                except ValueError:
+                    raise LedgerError(f"bad run reference {ref!r}") from None
+            if back >= len(runs):
+                raise LedgerError(
+                    f"run reference {ref!r} reaches past the ledger "
+                    f"({len(runs)} runs recorded)"
+                )
+            return runs[-1 - back]
+        matches = [r for r in runs if str(r["run_id"]).startswith(ref)]
+        if not matches:
+            raise LedgerError(f"unknown run {ref!r} ({len(runs)} runs recorded)")
+        exact = [r for r in matches if r["run_id"] == ref]
+        if exact:
+            return exact[0]
+        if len(matches) > 1:
+            raise LedgerError(
+                f"ambiguous run reference {ref!r}: matches "
+                + ", ".join(str(r["run_id"]) for r in matches)
+            )
+        return matches[0]
+
+    def app_runs(self, run_id: str) -> Dict[str, Dict[str, object]]:
+        """Per-app rows of one run: ``{app: {status, stages, metrics, ...}}``."""
+        out: Dict[str, Dict[str, object]] = {}
+        for row in self._query(
+            "SELECT * FROM app_runs WHERE run_id = ? ORDER BY app", [run_id]
+        ):
+            out[row["app"]] = {
+                "status": row["status"],
+                "elapsed_s": row["elapsed_s"],
+                "stages": self._load_json(row["stages_json"], "stages"),
+                "metrics": self._load_json(row["metrics_json"], "metrics"),
+                "race_count": row["race_count"],
+            }
+        return out
+
+    def races(self, run_id: str, with_reports: bool = False) -> List[Dict[str, object]]:
+        """Race rows of one run, ranked order within each app."""
+        out = []
+        for row in self._query(
+            "SELECT * FROM races WHERE run_id = ? ORDER BY app, rank", [run_id]
+        ):
+            race = {
+                "app": row["app"],
+                "fingerprint": row["fingerprint"],
+                "rank": row["rank"],
+                "field": row["field"],
+                "kind": row["kind"],
+                "tier": row["tier"],
+                "priority": row["priority"],
+                "verdict": row["verdict"],
+            }
+            if with_reports:
+                race["report"] = self._load_json(row["report_json"], "report")
+            out.append(race)
+        return out

@@ -141,6 +141,40 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``) from the
+        bucket counts.
+
+        Cumulative buckets only bound *where* an observation fell, so the
+        estimate interpolates linearly across the winning bucket's range
+        and clamps to the observed ``[min, max]`` (a histogram with one
+        sample answers that sample for every ``q``; an empty one answers
+        0.0 rather than inventing a value).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range 0..100")
+        if self._count == 0:
+            return 0.0
+        if self._count == 1 or self._min == self._max:
+            return float(self._min)  # type: ignore[arg-type]
+        target = (q / 100.0) * self._count
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lo = 0.0 if i == 0 else float(self.buckets[i - 1])
+                hi = (
+                    float(self._max)  # +Inf bucket: the observed max bounds it
+                    if i == len(self.buckets)
+                    else float(self.buckets[i])
+                )
+                fraction = (target - cumulative) / count
+                estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+                return max(float(self._min), min(float(self._max), estimate))
+            cumulative += count
+        return float(self._max)  # type: ignore[arg-type]
+
     def reset(self) -> None:
         self._counts = [0] * (len(self.buckets) + 1)
         self._count = 0

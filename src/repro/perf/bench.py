@@ -219,8 +219,21 @@ def run_bench(
     speedup_app: Optional[str] = SPEEDUP_APP,
     out_path: Optional[str] = "BENCH_pipeline.json",
     parallelism: int = 1,
+    history: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the full bench suite; write and return the BENCH record."""
+    """Run the full bench suite; write and return the BENCH record.
+
+    ``history`` names a run-history ledger db: the suite appends one
+    ``bench`` run with a per-app row (stages + counters scrape; bench runs
+    carry no race rows) so ``repro diff`` can gate timings across bench
+    runs. A malformed ledger raises
+    :class:`~repro.obs.history.LedgerError` before any bench runs.
+    """
+    ledger = None
+    if history:
+        from repro.obs.history import KIND_BENCH, RunLedger
+
+        ledger = RunLedger(history)
     options = SierraOptions(parallelism=parallelism)
     data: Dict[str, object] = {
         "schema": SCHEMA,
@@ -242,6 +255,28 @@ def run_bench(
             "hbg_cg_pa_combined": round(slow / fast, 2) if fast else float("inf"),
         }
     data["apps"] = {name: bench_app(name, options) for name in apps}
+    if ledger is not None:
+        try:
+            run_id = ledger.begin_run(
+                KIND_BENCH,
+                {"apps": list(apps), "parallelism": parallelism},
+                meta={"speedup_app": speedup_app},
+            )
+            for name, record in data["apps"].items():
+                ledger.record_app(
+                    run_id,
+                    name,
+                    status="ok",
+                    elapsed_s=record["stages"].get("total", 0.0),
+                    stages=record["stages"],
+                    metrics={k: {"type": "counter", "value": v}
+                             for k, v in record["counters"].items()},
+                    races=(),
+                )
+            data["run_id"] = run_id
+            data["history"] = history
+        finally:
+            ledger.close()
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(data, fh, indent=2, sort_keys=True)

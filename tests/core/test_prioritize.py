@@ -36,6 +36,41 @@ class TestRanking:
             assert mdb.priority > isopen.priority
 
 
+class TestDeterministicOrdering:
+    """Ranks and fingerprints must be reproducible across runs: the
+    run-history ledger diffs runs by fingerprint and the rank column is
+    only trustworthy if tie-breaking is total (satellite of the
+    history/diffing work)."""
+
+    def test_same_app_twice_identical_report_order(self):
+        from repro.cli import load_app
+        from repro.core import Sierra, SierraOptions
+
+        def run():
+            result = Sierra(SierraOptions()).analyze(load_app("opensudoku"))
+            return [
+                (r.rank, r.fingerprint, r.field_name, r.pair.actions)
+                for r in result.report.reports
+            ]
+
+        first, second = run(), run()
+        assert first == second
+        assert first  # the app reports at least one race
+
+    def test_priority_ties_broken_by_identity_not_input_order(self, opensudoku_result):
+        from repro.core.prioritize import _stable_sort_key, rank_races
+
+        def identity(r):
+            return (r.field_name, r.pair.actions, repr(r.pair.location))
+
+        reports = opensudoku_result.report.reports
+        pairs = [r.pair for r in reports]
+        reranked = rank_races(opensudoku_result.extraction, list(reversed(pairs)))
+        assert [identity(r) for r in reranked] == [identity(r) for r in reports]
+        keys = [_stable_sort_key(r) for r in reports]
+        assert len(set(keys)) == len(keys)  # the order is total, not priority-lucky
+
+
 class TestBenignGuard:
     def test_guard_variable_race_tagged(self, opensudoku_result):
         for r in opensudoku_result.report.reports:

@@ -47,7 +47,9 @@ class TestCleanRun:
         out = tmp_path / "RUN_report.json"
         run = run_corpus(apps=SMALL, out_path=str(out))
         data = json.loads(out.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
+        assert data["run_id"] is None  # no --history: provenance block empty
+        assert data["history"] is None
         assert data["isolated"] is True
         assert set(data["apps"]) == set(SMALL)
         assert data["summary"] == run.summary()

@@ -1,0 +1,112 @@
+"""The self-contained HTML dashboard: one file, zero external fetches,
+and the injected race from the differential scenario is visible in it."""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.core import SierraOptions
+from repro.obs.dashboard import ledger_payload, render_dashboard
+from repro.obs.history import KIND_ANALYZE, RunLedger
+
+from tests.obs.test_diffing import BASE_SPEC, _record
+
+
+@pytest.fixture(scope="module")
+def dashboard_html(tmp_path_factory):
+    """Two recorded runs (second with one injected race) rendered to HTML."""
+    db = str(tmp_path_factory.mktemp("dash") / "h.db")
+    _record(db, BASE_SPEC)
+    _record(db, {**BASE_SPEC, "evrace": 2})
+    with RunLedger(db) as ledger:
+        return render_dashboard(ledger)
+
+
+class TestSelfContained:
+    def test_single_html_document(self, dashboard_html):
+        assert dashboard_html.count("<!DOCTYPE html>") == 1
+        assert dashboard_html.count("<html") == 1
+        assert dashboard_html.rstrip().endswith("</html>")
+
+    def test_no_external_resource_references(self, dashboard_html):
+        # no fetchable URLs, no external scripts/stylesheets/images/fonts:
+        # the file must render with the network cable unplugged. The SVG
+        # namespace identifier createElementNS requires is not a fetch —
+        # it is the one URL-shaped string allowed
+        stripped = dashboard_html.replace("http://www.w3.org/2000/svg", "")
+        assert "http://" not in stripped
+        assert "https://" not in stripped
+        assert "<link" not in dashboard_html
+        assert "<img" not in dashboard_html
+        assert "<iframe" not in dashboard_html
+        assert "@import" not in dashboard_html
+        for tag in re.findall(r"<script[^>]*>", dashboard_html):
+            assert "src=" not in tag  # scripts are inline only
+        for url in re.findall(r"url\(", dashboard_html):
+            pytest.fail("css url() reference found")
+
+    def test_embedded_json_cannot_break_out_of_its_tag(self, dashboard_html):
+        start = dashboard_html.index('<script type="application/json"')
+        end = dashboard_html.index("</script>", start)
+        blob = dashboard_html[start:end]
+        assert "</" not in blob.split(">", 1)[1]  # every </ is escaped <\/
+
+    def test_names_the_injected_race(self, dashboard_html):
+        # the seeded extra event race surfaces in the embedded data (race
+        # table + drill-down render from exactly this blob)
+        assert "evrace_" in dashboard_html
+        assert "fork_evidence" in dashboard_html  # provenance rode along
+
+    def test_title_is_escaped(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            html = render_dashboard(ledger, title="<script>alert(1)</script>")
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestPayload:
+    def test_payload_shape(self, tmp_path, opensudoku_result):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run_id = ledger.begin_run(
+                KIND_ANALYZE, dataclasses.asdict(SierraOptions())
+            )
+            ledger.record_analysis(run_id, "opensudoku", opensudoku_result)
+            payload = ledger_payload(ledger)
+        assert payload["aggregate_app"] == "*"
+        (run,) = payload["runs"]
+        assert run["run_id"] == run_id
+        assert set(run["apps"]) == {"opensudoku"}
+        assert len(run["races"]) == len(opensudoku_result.report.reports)
+        assert run["races"][0]["report"]["provenance"]
+
+    def test_write_dashboard_cli(self, tmp_path, opensudoku_result):
+        from repro.cli import main
+
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run_id = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_analysis(run_id, "opensudoku", opensudoku_result)
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--history", db, "-o", str(out)]) == 0
+        html = out.read_text()
+        assert "mAccumTime" in html  # the app's top race is in the data
+        assert html.count("<html") == 1
+
+    def test_dashboard_empty_ledger_renders(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            html = render_dashboard(ledger)
+        assert '"runs": []' in html
+
+    def test_dashboard_malformed_ledger_exits_two(self, tmp_path):
+        from repro.cli import main
+
+        db = tmp_path / "h.db"
+        db.write_bytes(b"\x00" * 512)
+        assert main(["dashboard", "--history", str(db),
+                     "-o", str(tmp_path / "d.html")]) == 2

@@ -1,0 +1,190 @@
+"""Differential run analysis, including the end-to-end acceptance
+scenario: two ``--history`` runs on the same app, one race injected into
+the second via the synth-corpus knobs, and ``repro diff`` naming exactly
+that fingerprint as new (``--gate`` exits 1)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import Sierra, SierraOptions
+from repro.corpus import SynthSpec, synthesize_app
+from repro.obs.diffing import diff_runs, render_diff
+from repro.obs.history import KIND_ANALYZE, RunLedger
+
+#: the differential pair: identical apps except run B seeds one extra
+#: unguarded event race (evrace 1 -> 2); everything else — names, seeds,
+#: idiom counts — matches, so exactly one fingerprint is new in B
+BASE_SPEC = dict(
+    name="DiffApp", seed=7, activities=2, evrace=1, bgrace=1, guard=1,
+    nullguard=1, ordered=1, factory=1, implicit=0, receivers=0, services=0,
+)
+
+
+def _record(db, spec_kwargs):
+    apk, _truth = synthesize_app(SynthSpec(**spec_kwargs))
+    result = Sierra(SierraOptions()).analyze(apk)
+    with RunLedger(db) as ledger:
+        run_id = ledger.begin_run(
+            KIND_ANALYZE, dataclasses.asdict(SierraOptions()), meta={"app": apk.name}
+        )
+        ledger.record_analysis(run_id, apk.name, result)
+    return run_id, result
+
+
+@pytest.fixture(scope="module")
+def injected_pair(tmp_path_factory):
+    """Ledger with run A (baseline) and run B (one injected race)."""
+    db = str(tmp_path_factory.mktemp("diff") / "h.db")
+    run_a, result_a = _record(db, BASE_SPEC)
+    run_b, result_b = _record(db, {**BASE_SPEC, "evrace": 2})
+    return db, run_a, run_b, result_a, result_b
+
+
+class TestInjectedRaceEndToEnd:
+    def test_exactly_the_injected_fingerprint_is_new(self, injected_pair):
+        db, run_a, run_b, result_a, result_b = injected_pair
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, run_a, run_b)
+        assert len(diff.new_races) == 1
+        assert diff.fixed_races == []
+        new = diff.new_races[0]
+        # the new fingerprint belongs to the seeded extra race and to no
+        # race of run A
+        fingerprints_a = {r.fingerprint for r in result_a.report.reports}
+        assert new["fingerprint"] not in fingerprints_a
+        assert new["field"].startswith("evrace_")
+        assert len(diff.persisting_races) == len(result_a.report.reports)
+
+    def test_gate_exits_one_and_names_the_race(self, injected_pair, capsys):
+        from repro.cli import main
+
+        db, run_a, run_b, _a, _b = injected_pair
+        code = main(["diff", run_a, run_b, "--gate", "--history", db])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 new race" in out and "evrace_" in out
+        # reversed, the same race reads as fixed and the gate passes
+        assert main(["diff", run_b, run_a, "--gate", "--history", db]) == 0
+
+    def test_json_output_round_trips(self, injected_pair, capsys):
+        import json
+
+        from repro.cli import main
+
+        db, run_a, run_b, _a, _b = injected_pair
+        assert main(["diff", run_a, run_b, "--json", "--history", db]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is False
+        assert len(data["new_races"]) == 1
+        assert data["run_a"] == run_a and data["run_b"] == run_b
+
+
+class TestThresholds:
+    @staticmethod
+    def _ledger_with_stage_times(db, a_s, b_s):
+        from repro.obs.history import KIND_BENCH
+
+        with RunLedger(db) as ledger:
+            for seconds in (a_s, b_s):
+                run_id = ledger.begin_run(KIND_BENCH, {})
+                ledger.record_app(run_id, "app", stages={"cg_pa": seconds})
+        return ledger
+
+    def test_slowdown_within_noise_not_flagged(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._ledger_with_stage_times(db, 1.0, 1.2)  # +20% < 25% threshold
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, "latest~1", "latest")
+        assert diff.timing_regressions == []
+        assert diff.clean
+
+    def test_slowdown_beyond_threshold_flagged(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._ledger_with_stage_times(db, 1.0, 1.5)
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, "latest~1", "latest")
+        assert len(diff.timing_regressions) == 1
+        assert diff.gate_exit_code() == 1
+
+    def test_sub_floor_stages_never_regress(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._ledger_with_stage_times(db, 0.001, 0.004)  # 4x but microseconds
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, "latest~1", "latest")
+        assert diff.timing_regressions == []
+
+    def test_custom_threshold(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._ledger_with_stage_times(db, 1.0, 1.2)
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, "latest~1", "latest", time_threshold=0.1)
+        assert len(diff.timing_regressions) == 1
+
+    def test_speedup_is_reported_but_not_gated(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._ledger_with_stage_times(db, 2.0, 1.0)
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, "latest~1", "latest")
+        assert diff.stage_deltas and diff.timing_regressions == []
+        assert diff.clean
+
+
+class TestVerdictFlips:
+    def test_flip_detected_on_persisting_race(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        race = {
+            "fingerprint": "f" * 16, "rank": 1, "field": "mX", "kind": "event",
+            "tier": "app", "priority": 9, "verdict": "survived", "report": {},
+        }
+        with RunLedger(db) as ledger:
+            run_a = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_a, "app", races=[race])
+            run_b = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(
+                run_b, "app",
+                races=[{**race, "verdict": "survived-budget-exceeded"}],
+            )
+            diff = diff_runs(ledger, run_a, run_b)
+        assert diff.new_races == []
+        assert len(diff.verdict_flips) == 1
+        flip = diff.verdict_flips[0]
+        assert flip["verdict_a"] == "survived"
+        assert flip["verdict_b"] == "survived-budget-exceeded"
+        assert "verdict flip" in render_diff(diff)
+
+
+class TestRenderDiff:
+    def test_clean_render_says_so(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            for _ in range(2):
+                run_id = ledger.begin_run(KIND_ANALYZE, {"k": 2})
+                ledger.record_app(run_id, "app", stages={"cg_pa": 1.0})
+            diff = diff_runs(ledger, "latest~1", "latest")
+        text = render_diff(diff)
+        assert "clean: no new races, no timing regressions" in text
+        assert diff.options_changed is False
+
+    def test_option_change_warned(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            for k in (1, 2):
+                ledger.begin_run(KIND_ANALYZE, {"k": k})
+            diff = diff_runs(ledger, "latest~1", "latest")
+        assert diff.options_changed is True
+        assert "options differ" in render_diff(diff)
+
+    def test_coverage_change_warned(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run_a = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_a, "app1")
+            run_b = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_b, "app2")
+            diff = diff_runs(ledger, run_a, run_b)
+        assert diff.apps_only_a == ["app1"]
+        assert diff.apps_only_b == ["app2"]
+        assert "only in run" in render_diff(diff)

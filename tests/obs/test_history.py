@@ -1,0 +1,152 @@
+"""Run-history ledger: append, resolve, fingerprints, malformed dbs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import race_fingerprint
+from repro.obs.history import (
+    AGGREGATE_APP,
+    KIND_ANALYZE,
+    KIND_BENCH,
+    LedgerError,
+    RunLedger,
+    history_path_from_env,
+    new_run_id,
+    options_digest,
+    race_row,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_identical_analyses(self, opensudoku_apk):
+        from repro.core import Sierra, SierraOptions
+
+        first = Sierra(SierraOptions()).analyze(opensudoku_apk).report.reports
+        second = Sierra(SierraOptions()).analyze(opensudoku_apk).report.reports
+        assert [r.fingerprint for r in first] == [r.fingerprint for r in second]
+
+    def test_rank_independent(self, opensudoku_result):
+        # the fingerprint hashes the race's identity, not its position in
+        # the ranked list: two races on the same field still differ (the
+        # access sites differ) while rank is not an input at all
+        reports = opensudoku_result.report.reports
+        fingerprints = [r.fingerprint for r in reports]
+        assert len(set(fingerprints)) == len(fingerprints)
+        assert all(len(f) == 16 for f in fingerprints)
+
+    def test_report_dict_carries_fingerprint(self, opensudoku_result):
+        for entry in opensudoku_result.report.to_dict()["reports"]:
+            assert entry["fingerprint"]
+
+    def test_fingerprint_without_provenance(self, opensudoku_result):
+        import copy
+
+        race = copy.copy(opensudoku_result.report.reports[0])
+        with_prov = race_fingerprint(race)
+        race.provenance = None
+        without = race_fingerprint(race)
+        assert with_prov != without  # HB chain is part of the identity
+
+
+class TestLedgerWrites:
+    def test_round_trip_analysis(self, tmp_path, opensudoku_result):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run_id = ledger.begin_run(KIND_ANALYZE, {"k": 2}, meta={"app": "opensudoku"})
+            ledger.record_analysis(run_id, "opensudoku", opensudoku_result)
+        with RunLedger(db) as ledger:
+            runs = ledger.runs()
+            assert [r["run_id"] for r in runs] == [run_id]
+            assert runs[0]["kind"] == KIND_ANALYZE
+            assert runs[0]["options_digest"] == options_digest({"k": 2})
+            apps = ledger.app_runs(run_id)
+            assert set(apps) == {"opensudoku"}
+            assert set(apps["opensudoku"]["stages"]) >= {"cg_pa", "hbg", "refutation"}
+            assert apps["opensudoku"]["metrics"]  # registry scrape went in
+            races = ledger.races(run_id, with_reports=True)
+            assert len(races) == len(opensudoku_result.report.reports)
+            assert races[0]["report"]["provenance"]  # drill-down payload
+
+    def test_race_row_shape(self, opensudoku_result):
+        row = race_row(opensudoku_result.report.reports[0])
+        assert set(row) == {
+            "fingerprint", "rank", "field", "kind", "tier",
+            "priority", "verdict", "report",
+        }
+        assert row["verdict"] in ("survived", "survived-budget-exceeded", "unrefuted")
+
+    def test_aggregate_row_constant(self):
+        assert AGGREGATE_APP == "*"
+
+    def test_run_ids_unique(self):
+        ids = {new_run_id() for _ in range(32)}
+        assert len(ids) == 32
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HISTORY", raising=False)
+        assert history_path_from_env(None) is None
+        monkeypatch.setenv("REPRO_HISTORY", "/tmp/env.db")
+        assert history_path_from_env(None) == "/tmp/env.db"
+        assert history_path_from_env("/explicit.db") == "/explicit.db"
+
+
+class TestResolve:
+    @staticmethod
+    def _three_runs(db):
+        ids = []
+        with RunLedger(db) as ledger:
+            for i in range(3):
+                ids.append(ledger.begin_run(KIND_BENCH, {"i": i}))
+        return ids
+
+    def test_latest_and_back_references(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        ids = self._three_runs(db)
+        with RunLedger(db) as ledger:
+            assert ledger.resolve("latest")["run_id"] == ids[-1]
+            assert ledger.resolve("latest~1")["run_id"] == ids[-2]
+            assert ledger.resolve("latest~2")["run_id"] == ids[0]
+            assert ledger.resolve(ids[1])["run_id"] == ids[1]
+
+    def test_past_end_and_unknown_raise(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        self._three_runs(db)
+        with RunLedger(db) as ledger:
+            with pytest.raises(LedgerError):
+                ledger.resolve("latest~3")
+            with pytest.raises(LedgerError):
+                ledger.resolve("no-such-run")
+
+    def test_prefix_resolution_and_ambiguity(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        ids = self._three_runs(db)
+        with RunLedger(db) as ledger:
+            assert ledger.resolve(ids[0][:-1])["run_id"] == ids[0]
+            with pytest.raises(LedgerError):
+                ledger.resolve("r")  # matches every run
+
+    def test_empty_ledger_raises(self, tmp_path):
+        with RunLedger(str(tmp_path / "h.db")) as ledger:
+            with pytest.raises(LedgerError):
+                ledger.resolve("latest")
+
+
+class TestMalformedLedger:
+    def test_not_a_database(self, tmp_path):
+        db = tmp_path / "h.db"
+        db.write_bytes(b"\x00" * 512)  # header-sized garbage
+        with pytest.raises(LedgerError):
+            RunLedger(str(db))
+
+    def test_wrong_tables(self, tmp_path):
+        import sqlite3
+
+        db = str(tmp_path / "h.db")
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE runs (wrong TEXT)")  # name clash, bad shape
+        conn.commit()
+        conn.close()
+        with pytest.raises(LedgerError):
+            with RunLedger(db) as ledger:
+                ledger.begin_run(KIND_ANALYZE, {})

@@ -122,3 +122,102 @@ class TestPipelineIntegration:
             reg.value("refutation.nodes_expanded")
             == result.report.refutation_stats["nodes_expanded"]
         )
+
+
+class TestHistogramPercentile:
+    """Edge cases of the bucket-interpolated percentile estimator."""
+
+    def test_empty_histogram_answers_zero(self, registry):
+        h = registry.histogram("x.sizes")
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(100) == 0.0
+
+    def test_single_sample_answers_that_sample_for_every_q(self, registry):
+        h = registry.histogram("x.sizes")
+        h.observe(42)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 42.0
+
+    def test_identical_samples_need_no_interpolation(self, registry):
+        h = registry.histogram("x.sizes")
+        for _ in range(10):
+            h.observe(7)
+        assert h.percentile(50) == 7.0
+
+    def test_interpolates_within_a_bucket(self, registry):
+        h = registry.histogram("x.sizes", buckets=(0, 100))
+        for value in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            h.observe(value)
+        # all ten land in the (0, 100] bucket; the median interpolates to
+        # the bucket's midpoint, not to an edge
+        assert 40.0 <= h.percentile(50) <= 60.0
+        assert h.percentile(10) < h.percentile(90)
+
+    def test_clamped_to_observed_range(self, registry):
+        h = registry.histogram("x.sizes", buckets=(1000,))
+        h.observe(3)
+        h.observe(5)
+        # the bucket bound (1000) must not leak into the estimate
+        assert 3.0 <= h.percentile(0) <= h.percentile(100) <= 5.0
+
+    def test_inf_bucket_bounded_by_observed_max(self, registry):
+        h = registry.histogram("x.sizes", buckets=(10,))
+        for value in (5, 2_000_000, 3_000_000):
+            h.observe(value)
+        assert h.percentile(100) == 3_000_000.0
+        assert h.percentile(99) <= 3_000_000.0
+
+    def test_out_of_range_q_rejected(self, registry):
+        h = registry.histogram("x.sizes")
+        for q in (-1, 101):
+            with pytest.raises(ValueError, match="out of range"):
+                h.percentile(q)
+
+
+class TestScrapeWindowEdges:
+    """reset_run interacting with live spans and the refutation pool."""
+
+    def test_reset_during_active_span_keeps_post_reset_observations(self):
+        from repro import obs
+
+        metrics.counter("window.before").inc(5)
+        with obs.span("edge-case-span"):
+            metrics.reset_run()  # a new scrape window opens mid-span
+            metrics.counter("window.after").inc(3)
+        reg = metrics.registry()
+        # pre-reset effort is gone, post-reset effort survives the span end,
+        # and the span itself neither crashed nor resurrected old values
+        assert reg.value("window.before") == 0
+        assert reg.value("window.after") == 3
+
+    def test_gauge_last_write_wins_under_fork_refutation_pool(self, quickstart_apk):
+        """Parallel refutation forks workers; gauges must reflect the
+        parent's final report (one write, after the pool joins), not a
+        worker's partial view — serial and parallel scrapes agree."""
+        from repro.core import Sierra, SierraOptions
+
+        serial = Sierra(SierraOptions(parallelism=1)).analyze(quickstart_apk)
+        serial_scrape = {
+            name: metrics.registry().value(name)
+            for name in ("sierra.races_reported", "sierra.racy_pairs")
+        }
+        parallel = Sierra(SierraOptions(parallelism=2)).analyze(quickstart_apk)
+        reg = metrics.registry()
+        assert reg.value("sierra.races_reported") == (
+            parallel.report.races_after_refutation
+        )
+        parallel_scrape = {
+            name: reg.value(name)
+            for name in ("sierra.races_reported", "sierra.racy_pairs")
+        }
+        assert serial_scrape == parallel_scrape
+        assert serial.report.races_after_refutation == (
+            parallel.report.races_after_refutation
+        )
+
+    def test_gauge_set_is_last_write_wins(self, registry):
+        g = registry.gauge("x.level")
+        for value in (10, 3, 7):
+            g.set(value)
+        assert g.value == 7

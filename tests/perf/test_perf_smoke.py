@@ -81,7 +81,7 @@ class TestCorpusAnalyzeSmoke:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert data["summary"]["ok"] == data["summary"]["total"] == 2
         for record in data["apps"].values():
             assert record["status"] == "ok"
@@ -136,6 +136,90 @@ class TestTraceExport:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         assert module.validate_trace_gate("quickstart") == []
+
+
+class TestLedgerGate:
+    """``repro diff --gate`` exit-code contract over the run-history ledger:
+    0 clean, 1 on an injected regression, 2 on a malformed ledger."""
+
+    @staticmethod
+    def _record_run(db, stages):
+        from repro.obs.history import KIND_BENCH, RunLedger
+
+        with RunLedger(db) as ledger:
+            run_id = ledger.begin_run(KIND_BENCH, {"apps": ["app"]})
+            ledger.record_app(run_id, "app", stages=stages)
+        return run_id
+
+    def test_gate_clean_exits_zero(self, tmp_path):
+        from repro.cli import main
+
+        db = str(tmp_path / "h.db")
+        self._record_run(db, {"cg_pa": 1.0, "hbg": 0.5})
+        self._record_run(db, {"cg_pa": 1.0, "hbg": 0.5})
+        assert main(["diff", "latest~1", "latest", "--gate", "--history", db]) == 0
+
+    def test_gate_injected_regression_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "h.db")
+        self._record_run(db, {"cg_pa": 1.0, "hbg": 0.5})
+        self._record_run(db, {"cg_pa": 3.0, "hbg": 0.5})  # 3x slowdown
+        assert main(["diff", "latest~1", "latest", "--gate", "--history", db]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "cg_pa" in out
+        # without --gate the same diff reports but does not fail the build
+        assert main(["diff", "latest~1", "latest", "--history", db]) == 0
+
+    def test_gate_malformed_ledger_exits_two(self, tmp_path):
+        from repro.cli import main
+
+        db = tmp_path / "h.db"
+        db.write_bytes(b"this is not a sqlite database, not even close")
+        assert main(["diff", "latest~1", "latest", "--gate",
+                     "--history", str(db)]) == 2
+
+    def test_gate_bad_run_reference_exits_two(self, tmp_path):
+        from repro.cli import main
+
+        db = str(tmp_path / "h.db")
+        self._record_run(db, {"cg_pa": 1.0})
+        assert main(["diff", "latest~5", "latest", "--gate",
+                     "--history", db]) == 2
+
+    def test_bench_history_gate_rolls_forward(self, tmp_path):
+        """benchmarks/run_bench.py --history: first run records and passes,
+        a same-speed second run gates clean against it."""
+        import importlib.util
+        from pathlib import Path
+
+        gate_path = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_gate_h", gate_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        from repro.obs.history import KIND_BENCH, RunLedger
+
+        db = str(tmp_path / "bench.db")
+        assert module.gate_against_history(db, 2.0) == 0  # first run: baseline
+        assert module.gate_against_history(db, 2.0) == 0  # second run: gated
+        with RunLedger(db) as ledger:
+            assert len(ledger.runs(kind=KIND_BENCH)) == 2
+
+    def test_bench_history_gate_malformed_ledger(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+
+        gate_path = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_gate_h2", gate_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        db = tmp_path / "bench.db"
+        db.write_bytes(b"corrupt")
+        assert module.gate_against_history(str(db), 2.0) == 2
 
 
 class TestRegressionGate:
