@@ -105,6 +105,46 @@ def gate_against_history(db_path: str, threshold: float) -> int:
         return 2
 
 
+def warm_gate(args) -> int:
+    """Cold-then-warm suite against the substrate cache.
+
+    Writes the combined record (cold baseline under ``apps``, warm section
+    under ``warm``) to ``--baseline`` only with ``--update``; always prints
+    per-app warm speedups and exits 2 when the ledger diff finds any warm
+    result diverging from its cold counterpart.
+    """
+    from repro.perf.bench import SPEEDUP_APP
+
+    cache_dir = args.cache or tempfile.mkdtemp(prefix="repro-cache-")
+    out_path = str(args.baseline) if args.update else None
+    data = run_bench(
+        # an updated baseline must stay a full one (speedup block included);
+        # a plain warm gate skips the slow naive-baseline measurement
+        speedup_app=SPEEDUP_APP if args.update else None,
+        out_path=out_path,
+        warm=True,
+        cache_dir=cache_dir,
+        history=args.history,
+    )
+    warm = data["warm"]
+    for app, record in warm["apps"].items():
+        print(f"{app:18s} cold={record['cold_total_s']:.3f}s "
+              f"warm={record['warm_total_s']:.3f}s "
+              f"({record['warm_speedup']:.1f}x, "
+              f"memo_hits={record['counters']['refutation_cache_hits']})")
+    equivalence = warm["equivalence"]
+    if not equivalence["identical"]:
+        print(f"\nWARM/COLD DIVERGENCE: {equivalence['divergences']} "
+              f"(diff runs {warm['cold_run']} vs {warm['warm_run']} in "
+              f"{warm['ledger']})", file=sys.stderr)
+        return 2
+    if out_path:
+        print(f"\nbaseline updated: {out_path}")
+    print("\nok: warm results identical to cold "
+          "(fingerprints and refutation verdicts)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -116,9 +156,18 @@ def main(argv=None) -> int:
     parser.add_argument("--history", metavar="DB", default=None,
                         help="gate against the last bench run in this ledger "
                         "instead of the committed baseline (records this run)")
+    parser.add_argument("--warm", action="store_true",
+                        help="cold-then-warm each app against a fresh "
+                        "substrate cache; gate warm/cold result equivalence "
+                        "(exit 2 on divergence) and report warm_speedup")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="cache directory for --warm (default: a fresh "
+                        "temporary directory)")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
+    if args.warm:
+        return warm_gate(args)
     if args.history:
         return gate_against_history(args.history, args.threshold)
     if args.update:

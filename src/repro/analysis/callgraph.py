@@ -33,6 +33,19 @@ class MethodContext:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self):
+        # The memoised hash mixes hash(Method) (identity-based) and the
+        # str-seed-dependent context hash — both meaningless in another
+        # process. Recompute on load, before any containing dict restores.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
+
     @property
     def signature(self) -> str:
         return self.method.signature
@@ -109,6 +122,22 @@ class CallGraph:
         self._in[callee].append(edge)
         self._edge_set.add(key)
         return True
+
+    def __getstate__(self):
+        # _edge_set keys carry id(site) — meaningless in another process.
+        # Rebuild from the edge lists on load so duplicate detection keeps
+        # working against the restored instruction objects.
+        state = dict(self.__dict__)
+        state.pop("_edge_set", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._edge_set = {
+            (e.caller, id(e.site), e.callee, e.via)
+            for out in self._out.values()
+            for e in out
+        }
 
     # ------------------------------------------------------------------
     @property

@@ -75,6 +75,22 @@ class Context:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self):
+        # The memoised hash depends on the per-process str hash seed; a
+        # pickled value would be self-consistent but disagree with hashes of
+        # equal objects built in the loading process, silently corrupting
+        # every dict keyed by a context. Drop it and recompute on load —
+        # pickle runs __setstate__ before inserting the object into any
+        # containing dict/set, so restored containers hash correctly.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
+
     def __repr__(self) -> str:
         parts = ([repr(self.action)] if self.action else []) + [repr(e) for e in self.elements]
         return "[" + ",".join(parts) + "]"
@@ -104,6 +120,18 @@ class AbstractObject:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __getstate__(self):
+        # See Context.__getstate__: the memoised hash must not cross
+        # process boundaries.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     def __repr__(self) -> str:
         return f"obj({self.class_name}@{self.alloc.method}:{self.alloc.site}){self.heap_context!r}"

@@ -253,6 +253,10 @@ class PointerAnalysis:
         self._track_deps = solver == "worklist"
         self._queue: deque = deque()
         self._queued: Set[tuple] = set()
+        # optional (signature, index) trace of drained units — the
+        # invalidation-precision tests set this to a list to observe exactly
+        # which units an incremental resume re-interprets
+        self.replay_log: Optional[List[Tuple[str, Optional[int]]]] = None
         for entry in entries:
             ctx = self.selector.entry_context(entry.action_id)
             mc = MethodContext(entry.method, ctx)
@@ -347,6 +351,11 @@ class PointerAnalysis:
         return PointsToResult(self)
 
     def _solve_worklist(self) -> PointsToResult:
+        for mc in self._reachable:
+            self._enqueue((mc, None))
+        return self._drain()
+
+    def _drain(self) -> PointsToResult:
         """Drain the worklist to the fixpoint, one obs span per *round*.
 
         A round is the units queued when it starts; work they enqueue
@@ -355,8 +364,8 @@ class PointerAnalysis:
         observation (how far the delta wave has propagated), not a
         scheduling change.
         """
-        for mc in self._reachable:
-            self._enqueue((mc, None))
+        before = self.worklist_iterations
+        replay_log = self.replay_log
         queue = self._queue
         round_no = 0
         while queue:
@@ -368,6 +377,8 @@ class PointerAnalysis:
                     self._queued.discard(unit)
                     self.worklist_iterations += 1
                     mc, index = unit
+                    if replay_log is not None:
+                        replay_log.append((mc.method.signature, index))
                     try:
                         if index is None:
                             self._process_method(mc)
@@ -378,8 +389,27 @@ class PointerAnalysis:
                         self._current = None
         obs.metrics.counter(
             "pointsto.worklist_iterations", "delta-worklist units processed"
-        ).inc(self.worklist_iterations)
+        ).inc(self.worklist_iterations - before)
         return PointsToResult(self)
+
+    def resume(self, invalidated: Sequence[Method]) -> PointsToResult:
+        """Warm-restart the worklist after an *additive* program change.
+
+        Callers (``repro.cache.incremental``) guarantee the change is
+        monotone: every ``invalidated`` method's old body is a prefix of its
+        new body, so the old fixpoint is a sound under-approximation of the
+        new least fixpoint and existing constraints/indices stay valid. Only
+        the invalidated methods' contexts are re-interpreted from scratch;
+        everything they newly touch propagates through the pickled
+        dependency index exactly as a cold delta-worklist run would.
+        """
+        if self.solver != "worklist":
+            raise ValueError("resume() requires the worklist solver")
+        inval = {id(m) for m in invalidated}
+        for mc in self._reachable:
+            if id(mc.method) in inval:
+                self._enqueue((mc, None))
+        return self._drain()
 
     def _process_method(self, mc: MethodContext) -> bool:
         changed = False
@@ -542,7 +572,10 @@ class PointerAnalysis:
             if self._track_deps:
                 self._enqueue((callee_mc, None))
                 # wake event-marker sites waiting on contexts of this method
-                self._touch(("reach", id(callee_mc.method)))
+                # (keyed by signature, not id(): the dependency index is
+                # pickled into the substrate cache and replayed in another
+                # process, where this run's object ids are meaningless)
+                self._touch(("reach", callee_mc.method.signature))
         if receiver_obj is not None and not callee_mc.method.is_static:
             changed |= self._add_var((callee_mc, "this"), {receiver_obj})
         bind_args = instr.args if args is None else args
@@ -573,7 +606,7 @@ class PointerAnalysis:
             return False
         # re-run this marker when a new context of the registration method
         # becomes reachable (the loop below only sees current contexts)
-        self._note(("reach", id(dispatch.reg_method)))
+        self._note(("reach", dispatch.reg_method.signature))
         for reg_mc in list(self._reachable):
             if reg_mc.method is not dispatch.reg_method:
                 continue

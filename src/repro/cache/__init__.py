@@ -1,0 +1,31 @@
+"""Persistent substrate cache + cross-run incremental analysis.
+
+Enabled with ``--cache <dir>`` (or the ``REPRO_CACHE`` environment
+variable) on ``analyze``, ``corpus-analyze`` and ``bench``. See
+``docs/performance.md`` ("Persistent substrate cache") for the key scheme,
+the invalidation story, and measured cold/warm numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.cache.store import (  # noqa: F401
+    CACHE_VERSION,
+    SubstrateStore,
+    corrupt_store_for_testing,
+)
+from repro.cache.substrate import SubstrateCache, CacheOutcome  # noqa: F401
+from repro.cache.memo import RefutationMemo  # noqa: F401
+
+#: environment variable naming the default cache directory
+CACHE_ENV = "REPRO_CACHE"
+
+
+def cache_dir_from_env(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the cache directory: explicit flag wins, then $REPRO_CACHE,
+    then None (caching disabled)."""
+    if explicit:
+        return explicit
+    return os.environ.get(CACHE_ENV) or None

@@ -1,0 +1,188 @@
+"""Cross-run incremental re-analysis: diff, graft, resume.
+
+The substrate cache stores the phase-A :class:`PointerAnalysis` *solver*
+(not just its result) — including the inverted delta-worklist dependency
+index. When a re-analysed app differs from its cached version, this module
+decides whether the change is **additive** and, if so, grafts the new code
+onto the cached program and resumes the old fixpoint so only readers of
+changed units recompute.
+
+Additive means monotone for a flow-insensitive Andersen analysis: the old
+constraint set must be a subset of the new one, so the old fixpoint is a
+sound under-approximation of the new least fixpoint and can be extended
+in place. Concretely the delta must only
+
+* append instructions to existing method bodies (the old instruction-repr
+  list is a *prefix* of the new one — allocation/call-site ordinals of old
+  constraints stay valid), and/or
+* add brand-new methods or classes,
+
+while manifest, layouts and every existing class's shape stay identical and
+no appended/new instruction is a listener registration the harness
+generator would have modelled (the cached harness would then be stale).
+Anything else falls back — loudly — to a full cold run; incremental mode
+never trades soundness for speed silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.android.framework import LISTENER_REGISTRATIONS
+from repro.cache import keys as cache_keys
+from repro.ir.instructions import Invoke
+from repro.ir.program import ClassDef, Method, Program
+
+#: substring marking harness-synthesized classes (present in a cached
+#: program, absent from a freshly loaded pre-harness apk)
+_HARNESS_MARK = ".Harness$"
+
+
+def _is_harness_class(name: str) -> bool:
+    return _HARNESS_MARK in name
+
+
+@dataclass
+class ProgramDelta:
+    """What changed between a cached program and a freshly loaded one."""
+
+    #: (cached method, new method) pairs whose bodies grew
+    changed: List[Tuple[Method, Method]] = field(default_factory=list)
+    #: new methods on classes the cached program already has
+    added_methods: List[Method] = field(default_factory=list)
+    #: class names present only in the new program
+    added_classes: List[str] = field(default_factory=list)
+    #: non-None → the change is not additive; holds the human-readable why
+    reason: Optional[str] = None
+
+    @property
+    def additive(self) -> bool:
+        return self.reason is None
+
+    @property
+    def trivial(self) -> bool:
+        return self.additive and not (
+            self.changed or self.added_methods or self.added_classes
+        )
+
+
+def _class_shape(cls: ClassDef) -> tuple:
+    return (
+        cls.superclass,
+        tuple(sorted(cls.interfaces)),
+        cls.is_interface,
+        cls.is_framework,
+        tuple(sorted((f.name, repr(f.type), f.is_static) for f in cls.fields.values())),
+    )
+
+
+def _registration_in(instrs) -> Optional[str]:
+    for instr in instrs:
+        if isinstance(instr, Invoke) and instr.method_name in LISTENER_REGISTRATIONS:
+            return instr.method_name
+    return None
+
+
+def diff_programs(old: Program, new: Program) -> ProgramDelta:
+    """Structural diff of ``new`` against the cached ``old`` program.
+
+    ``old`` may contain harness-synthesized classes (skipped); ``new`` is a
+    freshly loaded, pre-harness program.
+    """
+    delta = ProgramDelta()
+    for name, old_cls in old.classes.items():
+        if _is_harness_class(name):
+            continue
+        new_cls = new.classes.get(name)
+        if new_cls is None:
+            delta.reason = f"class {name} removed"
+            return delta
+        if _class_shape(old_cls) != _class_shape(new_cls):
+            delta.reason = f"class {name} shape changed (hierarchy/fields)"
+            return delta
+        for mname, old_m in old_cls.methods.items():
+            new_m = new_cls.methods.get(mname)
+            if new_m is None:
+                delta.reason = f"method {old_m.signature} removed"
+                return delta
+            if cache_keys.method_digest(old_m) == cache_keys.method_digest(new_m):
+                continue
+            old_reprs = cache_keys.instruction_reprs(old_m)
+            new_reprs = cache_keys.instruction_reprs(new_m)
+            if (
+                len(new_reprs) < len(old_reprs)
+                or new_reprs[: len(old_reprs)] != old_reprs
+            ):
+                delta.reason = (
+                    f"method {old_m.signature} changed non-additively "
+                    "(old body is not a prefix of the new one)"
+                )
+                return delta
+            reg = _registration_in(new_m.body[len(old_m.body):])
+            if reg is not None:
+                delta.reason = (
+                    f"method {old_m.signature} appends listener registration "
+                    f"{reg} (cached harness would be stale)"
+                )
+                return delta
+            delta.changed.append((old_m, new_m))
+        for mname, new_m in new_cls.methods.items():
+            if mname in old_cls.methods:
+                continue
+            reg = _registration_in(new_m.body)
+            if reg is not None:
+                delta.reason = (
+                    f"new method {new_m.signature} contains listener "
+                    f"registration {reg} (cached harness would be stale)"
+                )
+                return delta
+            delta.added_methods.append(new_m)
+    for name, new_cls in new.classes.items():
+        if name in old.classes:
+            continue
+        for new_m in new_cls.methods.values():
+            reg = _registration_in(new_m.body)
+            if reg is not None:
+                delta.reason = (
+                    f"new class {name} contains listener registration "
+                    f"{reg} (cached harness would be stale)"
+                )
+                return delta
+        delta.added_classes.append(name)
+    return delta
+
+
+def graft(old: Program, new: Program, delta: ProgramDelta) -> List[Method]:
+    """Apply an additive ``delta`` onto the cached program, in place.
+
+    Keeps every cached instruction/method object (call-graph edges, harness
+    sites and points-to constraints reference them by identity) and splices
+    in only the new suffixes/members. Returns the invalidated methods to
+    seed :meth:`~repro.analysis.pointsto.PointerAnalysis.resume` with.
+    """
+    if not delta.additive:
+        raise ValueError(f"refusing to graft a non-additive delta: {delta.reason}")
+    invalidated: List[Method] = []
+    for old_m, new_m in delta.changed:
+        old_m.body.extend(new_m.body[len(old_m.body):])
+        old_m._cfg = None
+        invalidated.append(old_m)
+    for new_m in delta.added_methods:
+        old.classes[new_m.class_name].add_method(new_m)
+    for name in delta.added_classes:
+        old.add_class(new.classes[name])
+    if delta.added_classes:
+        old._subtypes_cache = None
+    return invalidated
+
+
+def delta_summary(delta: ProgramDelta) -> Dict[str, object]:
+    """JSON-ready description (obs events, ledger meta)."""
+    return {
+        "additive": delta.additive,
+        "reason": delta.reason,
+        "changed_methods": [m.signature for m, _ in delta.changed],
+        "added_methods": [m.signature for m in delta.added_methods],
+        "added_classes": list(delta.added_classes),
+    }

@@ -1,0 +1,219 @@
+"""Stable content digests keying the persistent substrate cache.
+
+Everything here hashes *content*, never process-local identity: method
+bodies by instruction repr, programs by per-method digest maps, candidates
+by the rank-independent race fingerprint fields plus a per-action ICFG
+digest. Two processes analysing the same app text therefore compute the
+same keys, which is the entire contract of :mod:`repro.cache.store`.
+
+Digests deliberately exclude anything hash-seed- or id()-dependent
+(``PYTHONHASHSEED`` poisons ``hash()``, object addresses poison ``id()``);
+only ``repr`` of deterministic IR/dataclass values and sorted strings go
+into the hashers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+#: hex digits kept per digest — 96 bits, collision-safe for any corpus
+DIGEST_LEN = 24
+
+
+def _sha(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:DIGEST_LEN]
+
+
+# ----------------------------------------------------------------------
+# method / class / program digests
+# ----------------------------------------------------------------------
+def instruction_reprs(method) -> List[str]:
+    """The per-instruction content list (prefix comparisons use this)."""
+    return [repr(instr) for instr in method.body]
+
+
+def method_digest(method) -> str:
+    header = (
+        f"{method.signature}|params={[(n, repr(t)) for n, t in method.params]!r}"
+        f"|ret={method.return_type!r}|static={method.is_static}"
+        f"|abstract={method.is_abstract}"
+    )
+    return _sha([header] + instruction_reprs(method))
+
+
+def program_method_digests(program) -> Dict[str, str]:
+    """signature → body digest for every method (app + framework model)."""
+    return {m.signature: method_digest(m) for m in program.all_methods()}
+
+
+def class_structure_digest(cls) -> str:
+    """Hierarchy/shape of one class — body changes do not affect this."""
+    fields = sorted(
+        f"{f.name}:{f.type!r}:{f.is_static}" for f in cls.fields.values()
+    )
+    return _sha(
+        [
+            cls.name,
+            f"super={cls.superclass}",
+            f"interfaces={sorted(cls.interfaces)!r}",
+            f"interface={cls.is_interface}|framework={cls.is_framework}",
+            f"fields={fields!r}",
+            f"methods={sorted(cls.methods)!r}",
+        ]
+    )
+
+
+def program_class_digests(program) -> Dict[str, str]:
+    return {name: class_structure_digest(c) for name, c in program.classes.items()}
+
+
+def manifest_digest(manifest) -> str:
+    return _sha(
+        [
+            manifest.package,
+            repr(manifest.activities),
+            repr(manifest.services),
+            repr(manifest.receivers),
+            repr(sorted(manifest.launches)),
+        ]
+    )
+
+
+def layouts_digest(layouts) -> str:
+    return _sha(
+        f"{layout.name}={layout.views!r}" for layout in sorted(
+            layouts.layouts(), key=lambda l: l.name
+        )
+    )
+
+
+def apk_digest(
+    apk,
+    method_digests: Optional[Dict[str, str]] = None,
+    class_digests: Optional[Dict[str, str]] = None,
+) -> str:
+    """Content digest of everything the pipeline consumes from an APK.
+
+    Compute this on the *input* apk, before harness generation mutates the
+    program with synthetic harness classes — both the store and the lookup
+    side must hash the same pre-harness text.
+    """
+    methods = method_digests if method_digests is not None else program_method_digests(apk.program)
+    classes = class_digests if class_digests is not None else program_class_digests(apk.program)
+    return _sha(
+        [
+            apk.name,
+            manifest_digest(apk.manifest),
+            layouts_digest(apk.layouts),
+            repr(sorted(classes.items())),
+            repr(sorted(methods.items())),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# options / composite keys
+# ----------------------------------------------------------------------
+def options_key(options) -> str:
+    """The `SierraOptions` subset the substrate depends on.
+
+    Refutation budgets are deliberately excluded (they key the refutation
+    memo, not the points-to/SHBG substrate); parallelism, cache and query
+    flags never change any result.
+    """
+    return (
+        f"selector={options.selector}|k={options.k}"
+        f"|index_sensitive_arrays={options.index_sensitive_arrays}"
+    )
+
+
+def substrate_key(apk_dig: str, options: "object") -> str:
+    return _sha(["substrate", apk_dig, options_key(options)])
+
+
+def app_index_key(app_name: str, options) -> str:
+    """Latest-substrate pointer per (app, options) — the incremental
+    path's way of finding the previous version of a changed app."""
+    return _sha(["app", app_name, options_key(options)])
+
+
+# ----------------------------------------------------------------------
+# refutation candidate keys
+# ----------------------------------------------------------------------
+def action_icfg_digest(
+    action,
+    method_digests: Dict[str, str],
+    digest_cache: Optional[Dict[int, str]] = None,
+) -> str:
+    """Content digest of the code a candidate's symbolic execution walks:
+    the action's member methods (their bodies) plus its creation site.
+
+    The same action appears in many candidate pairs; callers keying a whole
+    run pass ``digest_cache`` (keyed by ``id(action)``, valid while the
+    pairs stay alive) so each action's members are digested once.
+    """
+    if digest_cache is not None:
+        cached = digest_cache.get(id(action))
+        if cached is not None:
+            return cached
+    creation = (
+        f"{action.creation_method.signature}@{action.creation_site!r}"
+        if action.creation_site is not None and action.creation_method is not None
+        else "harness-entry"
+    )
+    members = sorted(
+        {
+            f"{m.signature}={method_digests.get(m.signature) or method_digest(m)}"
+            for m in action.member_methods
+        }
+    )
+    digest = _sha(
+        [f"entry={action.entry_method.signature}", f"creation={creation}"] + members
+    )
+    if digest_cache is not None:
+        digest_cache[id(action)] = digest
+    return digest
+
+
+def candidate_key(
+    pair,
+    method_digests: Dict[str, str],
+    options,
+    path_budget: int,
+    loop_bound: int,
+    icfg_digest_cache: Optional[Dict[int, str]] = None,
+) -> str:
+    """Persistent-memo key of one refutation candidate.
+
+    Mirrors :func:`repro.core.report.race_fingerprint` (location, kind and
+    the two sorted access sites — rank/action-id independent) and adds what
+    the verdict additionally depends on: each action's ICFG content, the
+    context abstraction, and the symbolic execution budgets.
+    """
+    access_sites = sorted(
+        f"{a.kind}|{a.field_name}|{a.method_signature}|{a.instr!r}"
+        for a in (pair.access1, pair.access2)
+    )
+    icfgs = sorted(
+        action_icfg_digest(a.action, method_digests, icfg_digest_cache)
+        for a in (pair.access1, pair.access2)
+    )
+    return _sha(
+        [
+            "candidate",
+            f"location={pair.location!r}",
+            f"static={pair.location.is_static}",
+            f"kind={pair.kind}",
+            access_sites[0],
+            access_sites[1],
+            icfgs[0],
+            icfgs[1],
+            options_key(options),
+            f"path_budget={path_budget}|loop_bound={loop_bound}",
+        ]
+    )

@@ -1,0 +1,408 @@
+"""Content-addressed on-disk store for the substrate cache.
+
+Layout under the cache root::
+
+    meta.sqlite                      # entry index + lifetime hit/miss stats
+    objects/<kind>/<kk>/<key>.bin    # header line (JSON) + pickle payload
+
+Each entry file is self-verifying: the JSON header records a magic string,
+the cache format version, the entry's kind/key and the sha256 of the pickle
+payload that follows. ``get`` re-checks all four before unpickling, so a
+truncated, bit-flipped or format-incompatible entry is *detected*, reported
+through a loud :func:`repro.obs.emit_warning`, deleted, and answered as a
+miss — the pipeline falls back to cold computation, never crashes on and
+never silently reuses a bad entry.
+
+Writes are atomic (tmp file + ``os.replace``), so a run killed mid-``put``
+leaves either the old entry or the new one, not a torn file. The sqlite
+side is advisory: it feeds ``repro cache stats``/``gc`` and survives its
+own corruption by degrading to zeroed stats (with a warning) rather than
+taking analysis down with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+
+#: bump when any pickled artifact's shape changes — old entries then
+#: version-mismatch on read and fall back to cold (never half-load)
+CACHE_VERSION = 1
+
+MAGIC = "repro-cache"
+
+_STATS_KEYS = ("hits", "misses", "corrupt", "evicted")
+
+
+class SubstrateStore:
+    """One cache directory: sharded entry files plus sqlite metadata."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self._meta_path = os.path.join(self.root, "meta.sqlite")
+        self._conn: Optional[sqlite3.Connection] = None
+        self._meta_broken = False
+        # metadata writes are batched: hundreds of verdict lookups per run
+        # must not pay a sqlite commit each — accumulate here, flush once
+        # (on close/stats/gc) in a single transaction
+        self._pending_stats: Dict[str, int] = {}
+        self._pending_index: Dict[Tuple[str, str], Tuple[Optional[int], float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # sqlite metadata (advisory: never allowed to break analysis)
+    # ------------------------------------------------------------------
+    def _meta(self) -> Optional[sqlite3.Connection]:
+        if self._meta_broken:
+            return None
+        if self._conn is None:
+            try:
+                conn = sqlite3.connect(self._meta_path, timeout=10.0)
+                conn.execute("PRAGMA busy_timeout=10000")
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS stats ("
+                    " key TEXT PRIMARY KEY, value INTEGER NOT NULL)"
+                )
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " kind TEXT NOT NULL, key TEXT NOT NULL,"
+                    " bytes INTEGER NOT NULL, created_ts REAL NOT NULL,"
+                    " last_used_ts REAL NOT NULL, PRIMARY KEY (kind, key))"
+                )
+                conn.execute(
+                    "INSERT OR IGNORE INTO stats (key, value) VALUES ('created_ts', ?)",
+                    (int(time.time()),),
+                )
+                conn.commit()
+                self._conn = conn
+            except sqlite3.Error as exc:
+                self._meta_broken = True
+                obs.emit_warning(
+                    f"cache: metadata db unusable ({exc}); stats/gc degraded",
+                    stage="cache",
+                    path=self._meta_path,
+                )
+                return None
+        return self._conn
+
+    def _bump(self, stat: str, amount: int = 1) -> None:
+        if self._meta() is None:  # opens the db eagerly so breakage warns once
+            return
+        self._pending_stats[stat] = self._pending_stats.get(stat, 0) + amount
+
+    def _index_put(self, kind: str, key: str, nbytes: int) -> None:
+        if self._meta() is None:
+            return
+        now = time.time()
+        self._pending_index[(kind, key)] = (nbytes, now, now)
+
+    def _index_touch(self, kind: str, key: str) -> None:
+        if self._meta() is None:
+            return
+        pending = self._pending_index.get((kind, key))
+        if pending is not None and pending[0] is not None:
+            self._pending_index[(kind, key)] = (pending[0], pending[1], time.time())
+        else:
+            self._pending_index[(kind, key)] = (None, 0.0, time.time())
+
+    def _index_drop(self, kind: str, key: str) -> None:
+        self._pending_index.pop((kind, key), None)
+        conn = self._meta()
+        if conn is None:
+            return
+        try:
+            conn.execute("DELETE FROM entries WHERE kind = ? AND key = ?", (kind, key))
+            conn.commit()
+        except sqlite3.Error:
+            self._meta_broken = True
+
+    def _flush_meta(self) -> None:
+        """Write all batched stat bumps and index updates in one commit."""
+        if not self._pending_stats and not self._pending_index:
+            return
+        stats, index = self._pending_stats, self._pending_index
+        self._pending_stats, self._pending_index = {}, {}
+        conn = self._meta()
+        if conn is None:
+            return
+        try:
+            conn.executemany(
+                "INSERT INTO stats (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = value + ?",
+                [(stat, amount, amount) for stat, amount in stats.items()],
+            )
+            puts = [
+                (kind, key, nbytes, created, used, nbytes, used)
+                for (kind, key), (nbytes, created, used) in index.items()
+                if nbytes is not None
+            ]
+            touches = [
+                (used, kind, key)
+                for (kind, key), (nbytes, _created, used) in index.items()
+                if nbytes is None
+            ]
+            if puts:
+                conn.executemany(
+                    "INSERT INTO entries (kind, key, bytes, created_ts, last_used_ts) "
+                    "VALUES (?, ?, ?, ?, ?) "
+                    "ON CONFLICT(kind, key) DO UPDATE SET bytes = ?, last_used_ts = ?",
+                    puts,
+                )
+            if touches:
+                conn.executemany(
+                    "UPDATE entries SET last_used_ts = ? WHERE kind = ? AND key = ?",
+                    touches,
+                )
+            conn.commit()
+        except sqlite3.Error:
+            self._meta_broken = True
+
+    # ------------------------------------------------------------------
+    # entry IO
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.objects_dir, kind, key[:2], f"{key}.bin")
+
+    def put(self, kind: str, key: str, obj: object) -> bool:
+        """Pickle ``obj`` under (kind, key); atomic, best-effort."""
+        path = self._path(kind, key)
+        try:
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            header = json.dumps(
+                {
+                    "magic": MAGIC,
+                    "version": CACHE_VERSION,
+                    "kind": kind,
+                    "key": key,
+                    "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                    "created_ts": time.time(),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                fh.write(header + b"\n" + payload)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError, TypeError, AttributeError) as exc:
+            obs.emit_warning(
+                f"cache: failed to store {kind} entry ({exc}); continuing uncached",
+                stage="cache",
+                kind=kind,
+                key=key,
+            )
+            return False
+        self._index_put(kind, key, len(header) + 1 + len(payload))
+        return True
+
+    def get(self, kind: str, key: str) -> Optional[object]:
+        """Load (kind, key), or None on miss/corruption (cold fallback)."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            self._bump("misses")
+            return None
+        except OSError as exc:
+            self._corrupt(kind, key, path, f"unreadable ({exc})")
+            return None
+        newline = raw.find(b"\n")
+        if newline < 0:
+            self._corrupt(kind, key, path, "truncated before header end")
+            return None
+        try:
+            header = json.loads(raw[:newline].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._corrupt(kind, key, path, "unparsable header")
+            return None
+        if not isinstance(header, dict) or header.get("magic") != MAGIC:
+            self._corrupt(kind, key, path, "bad magic")
+            return None
+        if header.get("version") != CACHE_VERSION:
+            self._corrupt(
+                kind, key, path,
+                f"version {header.get('version')!r} != {CACHE_VERSION} (stale format)",
+            )
+            return None
+        if header.get("kind") != kind or header.get("key") != key:
+            self._corrupt(kind, key, path, "kind/key mismatch")
+            return None
+        payload = raw[newline + 1:]
+        if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+            self._corrupt(kind, key, path, "payload checksum mismatch")
+            return None
+        try:
+            obj = pickle.loads(payload)
+        except Exception as exc:  # any unpickling failure is corruption
+            self._corrupt(kind, key, path, f"unpicklable payload ({exc})")
+            return None
+        self._bump("hits")
+        self._index_touch(kind, key)
+        return obj
+
+    def _corrupt(self, kind: str, key: str, path: str, why: str) -> None:
+        obs.emit_warning(
+            f"cache: corrupt {kind} entry {key[:12]}…: {why}; "
+            "dropping it and recomputing cold",
+            stage="cache",
+            kind=kind,
+            key=key,
+            path=path,
+        )
+        obs.metrics.counter(
+            "cache.corrupt_entries", "cache entries rejected as corrupt/stale"
+        ).inc()
+        self._bump("corrupt")
+        self._bump("misses")
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        self._index_drop(kind, key)
+
+    # ------------------------------------------------------------------
+    # stats / gc
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[str, str, int, float, float]]:
+        """(kind, key, bytes, created_ts, last_used_ts) from disk truth.
+
+        Walks the object tree (the sqlite index is advisory), merging in
+        index timestamps when available.
+        """
+        self._flush_meta()
+        index: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        conn = self._meta()
+        if conn is not None:
+            try:
+                for kind, key, created, used in conn.execute(
+                    "SELECT kind, key, created_ts, last_used_ts FROM entries"
+                ):
+                    index[(kind, key)] = (created, used)
+            except sqlite3.Error:
+                self._meta_broken = True
+        out: List[Tuple[str, str, int, float, float]] = []
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for filename in filenames:
+                if not filename.endswith(".bin"):
+                    continue
+                kind = os.path.relpath(dirpath, self.objects_dir).split(os.sep)[0]
+                key = filename[: -len(".bin")]
+                path = os.path.join(dirpath, filename)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                created, used = index.get((kind, key), (stat.st_mtime, stat.st_mtime))
+                out.append((kind, key, stat.st_size, created, used))
+        out.sort()
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        self._flush_meta()
+        counters = {key: 0 for key in _STATS_KEYS}
+        created_ts = None
+        conn = self._meta()
+        if conn is not None:
+            try:
+                for key, value in conn.execute("SELECT key, value FROM stats"):
+                    if key == "created_ts":
+                        created_ts = value
+                    elif key in counters:
+                        counters[key] = value
+            except sqlite3.Error:
+                self._meta_broken = True
+        entries = self._entries()
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for kind, _key, nbytes, _created, _used in entries:
+            slot = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+            slot["entries"] += 1
+            slot["bytes"] += nbytes
+        lookups = counters["hits"] + counters["misses"]
+        return {
+            "root": self.root,
+            "created_ts": created_ts,
+            "entries": len(entries),
+            "bytes": sum(e[2] for e in entries),
+            "by_kind": by_kind,
+            "hits": counters["hits"],
+            "misses": counters["misses"],
+            "corrupt": counters["corrupt"],
+            "evicted": counters["evicted"],
+            "hit_rate": round(counters["hits"] / lookups, 4) if lookups else None,
+        }
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Evict by age and/or size budget (least-recently-used first)."""
+        entries = self._entries()
+        doomed: List[Tuple[str, str, int]] = []
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            doomed.extend(
+                (kind, key, nbytes)
+                for kind, key, nbytes, _created, used in entries
+                if used < cutoff
+            )
+        if max_bytes is not None:
+            doomed_keys = {(kind, key) for kind, key, _ in doomed}
+            kept = [e for e in entries if (e[0], e[1]) not in doomed_keys]
+            total = sum(e[2] for e in kept)
+            for kind, key, nbytes, _created, _used in sorted(kept, key=lambda e: e[4]):
+                if total <= max_bytes:
+                    break
+                doomed.append((kind, key, nbytes))
+                total -= nbytes
+        removed = freed = 0
+        for kind, key, nbytes in doomed:
+            try:
+                os.remove(self._path(kind, key))
+            except OSError:
+                continue
+            self._index_drop(kind, key)
+            removed += 1
+            freed += nbytes
+        if removed:
+            self._bump("evicted", removed)
+        return {"removed": removed, "freed_bytes": freed, "kept": len(entries) - removed}
+
+    def close(self) -> None:
+        self._flush_meta()
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+
+def corrupt_store_for_testing(root: str) -> int:
+    """Testing aid (``--inject-cache-corrupt``): truncate every entry file
+    so the next lookup exercises the corruption-detection path. Returns the
+    number of entries mangled."""
+    objects_dir = os.path.join(os.path.abspath(root), "objects")
+    mangled = 0
+    for dirpath, _dirnames, filenames in os.walk(objects_dir):
+        for filename in filenames:
+            if not filename.endswith(".bin"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as fh:
+                    fh.truncate(size // 2)
+                mangled += 1
+            except OSError:
+                continue
+    return mangled

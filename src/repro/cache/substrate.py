@@ -1,0 +1,194 @@
+"""Substrate bundles: what the detector saves and replays across runs.
+
+A **bundle** is one pickle holding everything `Sierra.analyze` computes up
+to racy-pair enumeration: the (harnessed) apk, the harness model, the full
+extraction — including the phase-A solver with its delta-worklist
+dependency index — and the SHBG. One pickle, deliberately: these artifacts
+share objects (actions, method-contexts, instructions) by identity, and
+pickling them together preserves that identity on load. Splitting them
+into separate store entries would silently sever the `is`-relationships
+the SHBG/refutation layers rely on.
+
+:class:`SubstrateCache` is the detector-facing façade:
+
+* :meth:`lookup` — full hit (unchanged app), incremental seed (additive
+  change: graft + resume, see :mod:`repro.cache.incremental`), or miss;
+* :meth:`save` — persist a fresh bundle and repoint the per-app index;
+* :meth:`memo` — the persistent refutation-verdict memo for this run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.cache import keys as cache_keys
+from repro.cache.incremental import delta_summary, diff_programs, graft
+from repro.cache.memo import RefutationMemo
+from repro.cache.store import SubstrateStore
+
+KIND_SUBSTRATE = "substrate"
+KIND_APP_INDEX = "app"
+
+_BUNDLE_FIELDS = (
+    "apk",
+    "harness",
+    "extraction",
+    "shbg",
+    "method_digests",
+    "apk_digest",
+)
+
+
+@dataclass
+class IncrementalSeed:
+    """A grafted cached substrate ready for a warm phase-A resume."""
+
+    apk: object  # the cached apk, program grafted in place
+    harness: object
+    phase_a_seed: tuple  # (PointerAnalysis, invalidated methods)
+    delta: object
+
+
+@dataclass
+class CacheOutcome:
+    """Everything one `analyze()` needs to consume and refill the cache."""
+
+    apk_digest: str
+    substrate_key: str
+    method_digests: Dict[str, str]
+    bundle: Optional[dict] = None  # full hit
+    seed: Optional[IncrementalSeed] = None  # warm incremental start
+
+    @property
+    def hit(self) -> bool:
+        return self.bundle is not None
+
+
+class SubstrateCache:
+    def __init__(self, cache_dir: str) -> None:
+        self.store = SubstrateStore(cache_dir)
+
+    # ------------------------------------------------------------------
+    def lookup(self, apk, options) -> CacheOutcome:
+        """Classify this analyze() against the store.
+
+        Must run on the freshly loaded apk *before* harness generation —
+        the digests hash the pre-harness program text.
+        """
+        method_digests = cache_keys.program_method_digests(apk.program)
+        class_digests = cache_keys.program_class_digests(apk.program)
+        apk_dig = cache_keys.apk_digest(apk, method_digests, class_digests)
+        skey = cache_keys.substrate_key(apk_dig, options)
+        outcome = CacheOutcome(
+            apk_digest=apk_dig, substrate_key=skey, method_digests=method_digests
+        )
+
+        bundle = self.store.get(KIND_SUBSTRATE, skey)
+        if bundle is not None:
+            if self._valid_bundle(bundle):
+                outcome.bundle = bundle
+                obs.metrics.counter(
+                    "cache.substrate_hits", "warm substrate bundle loads"
+                ).inc()
+                return outcome
+            self.store._corrupt(
+                KIND_SUBSTRATE, skey, self.store._path(KIND_SUBSTRATE, skey),
+                "bundle missing expected fields",
+            )
+        obs.metrics.counter(
+            "cache.substrate_misses", "substrate lookups answered cold"
+        ).inc()
+
+        outcome.seed = self._try_incremental(apk, options)
+        return outcome
+
+    @staticmethod
+    def _valid_bundle(bundle) -> bool:
+        return isinstance(bundle, dict) and all(f in bundle for f in _BUNDLE_FIELDS)
+
+    # ------------------------------------------------------------------
+    def _try_incremental(self, apk, options) -> Optional[IncrementalSeed]:
+        pointer = self.store.get(KIND_APP_INDEX, cache_keys.app_index_key(apk.name, options))
+        if not isinstance(pointer, dict) or "substrate_key" not in pointer:
+            return None
+        old = self.store.get(KIND_SUBSTRATE, pointer["substrate_key"])
+        if old is None or not self._valid_bundle(old):
+            return None
+        old_apk = old["apk"]
+        if (
+            cache_keys.manifest_digest(apk.manifest) != cache_keys.manifest_digest(old_apk.manifest)
+            or cache_keys.layouts_digest(apk.layouts) != cache_keys.layouts_digest(old_apk.layouts)
+        ):
+            self._fallback(apk.name, "manifest or layouts changed (harness inputs)")
+            return None
+        extraction = old["extraction"]
+        analysis = getattr(extraction, "phase_a_analysis", None)
+        if analysis is None:
+            self._fallback(apk.name, "cached bundle carries no resumable solver")
+            return None
+        delta = diff_programs(old_apk.program, apk.program)
+        if not delta.additive:
+            self._fallback(apk.name, delta.reason)
+            return None
+        invalidated = graft(old_apk.program, apk.program, delta)
+        obs.metrics.counter(
+            "cache.incremental_runs", "warm incremental (graft + resume) analyses"
+        ).inc()
+        obs.emit_warning(  # visibility, not an error: warm path taken
+            f"cache: additive change to {apk.name}; resuming cached fixpoint "
+            f"({len(delta.changed)} changed, {len(delta.added_methods)} new "
+            f"methods, {len(delta.added_classes)} new classes)",
+            stage="cache",
+            **delta_summary(delta),
+        )
+        return IncrementalSeed(
+            apk=old_apk,
+            harness=old["harness"],
+            phase_a_seed=(analysis, invalidated),
+            delta=delta,
+        )
+
+    @staticmethod
+    def _fallback(app: str, why: Optional[str]) -> None:
+        obs.metrics.counter(
+            "cache.incremental_fallbacks",
+            "changed apps that required full cold re-analysis",
+        ).inc()
+        obs.emit_warning(
+            f"cache: {app} changed non-additively ({why}); full cold re-analysis",
+            stage="cache",
+            reason=why,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, outcome: CacheOutcome, apk, options, harness, extraction, shbg) -> bool:
+        """Persist this run's substrate and repoint the app index."""
+        bundle = {
+            "apk": apk,
+            "harness": harness,
+            "extraction": extraction,
+            "shbg": shbg,
+            "method_digests": outcome.method_digests,
+            "apk_digest": outcome.apk_digest,
+        }
+        ok = self.store.put(KIND_SUBSTRATE, outcome.substrate_key, bundle)
+        if ok:
+            self.store.put(
+                KIND_APP_INDEX,
+                cache_keys.app_index_key(apk.name, options),
+                {"substrate_key": outcome.substrate_key, "apk_digest": outcome.apk_digest},
+            )
+        return ok
+
+    # ------------------------------------------------------------------
+    def memo(
+        self, outcome: CacheOutcome, options, path_budget: int, loop_bound: int
+    ) -> RefutationMemo:
+        return RefutationMemo(
+            self.store, outcome.method_digests, options, path_budget, loop_bound
+        )
+
+    def close(self) -> None:
+        self.store.close()

@@ -92,6 +92,8 @@ def is_known_app(name: str) -> bool:
 
 
 def _options_from(args: argparse.Namespace) -> SierraOptions:
+    from repro.cache import cache_dir_from_env
+
     return SierraOptions(
         selector=args.selector,
         k=args.k,
@@ -100,6 +102,8 @@ def _options_from(args: argparse.Namespace) -> SierraOptions:
         compare_without_as=args.compare_no_as,
         index_sensitive_arrays=getattr(args, "index_sensitive", False),
         parallelism=getattr(args, "parallelism", 1),
+        cache_dir=cache_dir_from_env(getattr(args, "cache", None)),
+        only_field=getattr(args, "only_field", None),
     )
 
 
@@ -150,6 +154,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     elapsed = time.monotonic() - started
     report = result.report
 
+    if options.only_field and report.racy_pairs_selected == 0:
+        candidates = sorted({p.field_name for p in result.racy_pairs})
+        print(
+            f"analyze: --only-field {options.only_field!r} matches none of "
+            f"{apk.name}'s {len(result.racy_pairs)} racy pairs",
+            file=sys.stderr,
+        )
+        if candidates:
+            print("candidate fields:", file=sys.stderr)
+            for field in candidates:
+                print(f"  - {field}", file=sys.stderr)
+        return 2
+
     history = _history_path(args)
     if history:
         from repro.obs.history import KIND_ANALYZE, RunLedger
@@ -182,6 +199,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     line = f"racy pairs={report.racy_pairs}"
     if report.racy_pairs_no_as is not None:
         line += f" (without action-sensitivity: {report.racy_pairs_no_as})"
+    if report.only_field is not None:
+        line += (
+            f", selected for {report.only_field!r}={report.racy_pairs_selected}"
+        )
     line += f", after refutation={report.races_after_refutation}"
     print(line)
     print(
@@ -289,11 +310,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.cache import cache_dir_from_env
     from repro.obs.history import LedgerError
     from repro.perf import DEFAULT_APPS, SPEEDUP_APP, run_bench
 
     apps = args.apps or DEFAULT_APPS
     speedup_app = None if args.no_speedup else (args.speedup_app or SPEEDUP_APP)
+    cache_dir = cache_dir_from_env(getattr(args, "cache", None))
+    if args.warm and not cache_dir:
+        print(
+            "bench: --warm needs a cache (pass --cache DIR or set REPRO_CACHE)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         data = run_bench(
             apps=apps,
@@ -301,6 +330,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             out_path=args.out,
             parallelism=args.parallelism,
             history=_history_path(args),
+            cache_dir=cache_dir,
+            warm=args.warm,
         )
     except LedgerError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -336,6 +367,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{pointsto['worklist_s']:.3f}s ({pointsto['speedup']:.1f}x)\n"
             f"  HBG + CG/PA combined: {speedup['hbg_cg_pa_combined']:.1f}x"
         )
+    warm = data.get("warm")
+    if warm:
+        warm_rows = [
+            {
+                "App": name,
+                "Cold (s)": f"{rec['cold_total_s']:.2f}",
+                "Warm (s)": f"{rec['warm_total_s']:.2f}",
+                "Speedup": f"{rec['warm_speedup']:.1f}x",
+                "Substrate hits": rec["counters"]["cache_substrate_hits"],
+                "Memo hits": rec["counters"]["refutation_cache_hits"],
+            }
+            for name, rec in warm["apps"].items()
+        ]
+        print("\nwarm re-analysis (cold -> warm against the cache):")
+        print(format_table(warm_rows))
+        equivalence = warm["equivalence"]
+        if not equivalence["identical"]:
+            print(
+                "bench: warm results diverge from cold "
+                f"({equivalence['divergences']})",
+                file=sys.stderr,
+            )
+            if args.out:
+                print(f"\nwrote {args.out}")
+            return 2
+        print("warm/cold equivalence: identical fingerprints and verdicts")
     if args.out:
         print(f"\nwrote {args.out}")
     return 0
@@ -363,6 +420,7 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
             out_path=args.out or None,
             inject_fail=set(args.inject_fail or ()),
             inject_hang=set(args.inject_hang or ()),
+            inject_cache_corrupt=set(args.inject_cache_corrupt or ()),
             progress=progress,
             history=_history_path(args),
         )
@@ -454,6 +512,71 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache_dir(args: argparse.Namespace, command: str) -> Optional[str]:
+    import os
+
+    from repro.cache import cache_dir_from_env
+
+    cache_dir = cache_dir_from_env(getattr(args, "cache", None))
+    if not cache_dir:
+        print(
+            f"{command}: no cache directory (pass --cache DIR or set "
+            "REPRO_CACHE)",
+            file=sys.stderr,
+        )
+        return None
+    if not os.path.isdir(cache_dir):
+        print(f"{command}: {cache_dir} is not a directory", file=sys.stderr)
+        return None
+    return cache_dir
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.cache import SubstrateStore
+
+    cache_dir = _resolve_cache_dir(args, "cache stats")
+    if cache_dir is None:
+        return 2
+    store = SubstrateStore(cache_dir)
+    try:
+        stats = store.stats()
+    finally:
+        store.close()
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"cache: {stats['root']}")
+    print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
+    for kind, info in sorted(stats["by_kind"].items()):
+        print(f"  {kind:>10s}: {info['entries']} entries, {info['bytes']} bytes")
+    print(
+        f"hits={stats['hits']} misses={stats['misses']} "
+        f"corrupt={stats['corrupt']} evicted={stats['evicted']} "
+        f"hit_rate={stats['hit_rate']:.1%}"
+    )
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.cache import SubstrateStore
+
+    cache_dir = _resolve_cache_dir(args, "cache gc")
+    if cache_dir is None:
+        return 2
+    store = SubstrateStore(cache_dir)
+    try:
+        result = store.gc(max_age_days=args.max_age_days, max_bytes=args.max_bytes)
+    finally:
+        store.close()
+    print(
+        f"evicted {result['removed']} entries ({result['freed_bytes']} bytes); "
+        f"{result['kept']} kept"
+    )
+    return 0
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     rows = [
         {"App": name, "Source": "figure", "Activities": "-"}
@@ -492,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refine constant-index array cells (paper future work)")
         p.add_argument("--parallelism", type=int, default=1,
                        help="refutation worker processes (1 = serial)")
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="persistent substrate cache directory "
+                       "(default: $REPRO_CACHE when set; omit both to "
+                       "disable caching)")
 
     def add_history_flag(p):
         p.add_argument("--history", metavar="DB", default=None,
@@ -511,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--trace-memory", action="store_true",
                          help="capture peak-RSS (and tracemalloc, when "
                          "tracing) per span in the trace")
+    analyze.add_argument("--only-field", metavar="SIG", default=None,
+                         help="targeted query: refute and report only racy "
+                         "pairs on this field signature (exit 2 listing "
+                         "candidates when nothing matches)")
     add_analysis_flags(analyze)
     add_history_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
@@ -559,6 +690,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--inject-hang", action="append", metavar="APP",
                        help="fault injection: APP's worker sleeps past the "
                        "budget (testing aid, repeatable)")
+    batch.add_argument("--inject-cache-corrupt", action="append", metavar="APP",
+                       help="fault injection: corrupt every cache entry "
+                       "before APP's analysis runs (testing aid, repeatable; "
+                       "requires --cache)")
     add_analysis_flags(batch)
     add_history_flag(batch)
     batch.set_defaults(func=cmd_corpus_analyze)
@@ -574,8 +709,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="app for the substrate speedup measurement")
     bench.add_argument("--no-speedup", action="store_true",
                        help="skip the naive-vs-fast substrate comparison")
+    bench.add_argument("--cache", metavar="DIR", default=None,
+                       help="persistent substrate cache directory "
+                       "(default: $REPRO_CACHE when set)")
+    bench.add_argument("--warm", action="store_true",
+                       help="cold-then-warm per app against the cache; adds "
+                       "warm_speedup + hit-rates to the output and gates "
+                       "warm/cold result equivalence (needs --cache or "
+                       "$REPRO_CACHE; exit 2 on divergence)")
     add_history_flag(bench)
     bench.set_defaults(func=cmd_bench)
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or prune the persistent substrate cache",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print entry counts, sizes and hit rates")
+    cache_stats.add_argument("--cache", metavar="DIR", default=None,
+                             help="cache directory (default: $REPRO_CACHE)")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit stats as JSON")
+    cache_stats.set_defaults(func=cmd_cache_stats)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict stale entries (by age, then LRU to a size budget)")
+    cache_gc.add_argument("--cache", metavar="DIR", default=None,
+                          help="cache directory (default: $REPRO_CACHE)")
+    cache_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="evict entries unused for this many days")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          help="evict least-recently-used entries until the "
+                          "store fits this byte budget")
+    cache_gc.set_defaults(func=cmd_cache_gc)
 
     diff = sub.add_parser(
         "diff",

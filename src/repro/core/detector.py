@@ -55,6 +55,12 @@ class SierraOptions:
     #: constant-index array cells get their own locations (the paper's
     #: future-work refinement after Dillig et al. [15])
     index_sensitive_arrays: bool = False
+    #: persistent substrate cache directory (``--cache`` / $REPRO_CACHE);
+    #: None disables caching entirely
+    cache_dir: Optional[str] = None
+    #: BackDroid-style targeted query: slice racy-pair enumeration and
+    #: refutation to candidates on this field signature only
+    only_field: Optional[str] = None
 
 
 @dataclass
@@ -81,23 +87,73 @@ class Sierra:
         report = SierraReport(app=apk.name)
         obs.metrics.reset_run()  # one scrape window per analyze()
 
+        cache = None
+        if opts.cache_dir:
+            from repro.cache import SubstrateCache
+
+            cache = SubstrateCache(opts.cache_dir)
+        try:
+            return self._analyze(apk, report, cache)
+        finally:
+            if cache is not None:
+                cache.close()
+
+    def _analyze(self, apk: Apk, report: SierraReport, cache) -> SierraResult:
+        opts = self.options
+        outcome = None
+
         with obs.stage("cg_pa", app=apk.name) as timer:
-            harness = generate_harnesses(apk)
-            selector = make_selector(opts.selector, opts.k)
-            extraction = extract_actions(
-                apk,
-                harness,
-                selector=selector,
-                index_sensitive_arrays=opts.index_sensitive_arrays,
-            )
+            # the lookup digests the pre-harness program, so it must run
+            # inside this stage's timing, before generate_harnesses
+            if cache is not None:
+                outcome = cache.lookup(apk, opts)
+            if outcome is not None and outcome.hit:
+                # warm: the bundle's apk (it carries the harness classes and
+                # every object the extraction references) replaces the input
+                bundle = outcome.bundle
+                apk = bundle["apk"]
+                harness = bundle["harness"]
+                extraction = bundle["extraction"]
+            else:
+                phase_a_seed = None
+                if outcome is not None and outcome.seed is not None:
+                    # incremental: the cached apk with the new code grafted
+                    # on; only invalidated units re-run inside extraction
+                    apk = outcome.seed.apk
+                    harness = outcome.seed.harness
+                    phase_a_seed = outcome.seed.phase_a_seed
+                else:
+                    harness = generate_harnesses(apk)
+                selector = make_selector(opts.selector, opts.k)
+                extraction = extract_actions(
+                    apk,
+                    harness,
+                    selector=selector,
+                    index_sensitive_arrays=opts.index_sensitive_arrays,
+                    phase_a_seed=phase_a_seed,
+                )
         report.time_cg_pa = timer.seconds
 
         with obs.stage("hbg", app=apk.name) as timer:
-            shbg = build_shbg(extraction)
+            if outcome is not None and outcome.hit:
+                shbg = outcome.bundle["shbg"]
+            else:
+                shbg = build_shbg(extraction)
         report.time_hbg = timer.seconds
+
+        if cache is not None and outcome is not None and not outcome.hit:
+            cache.save(outcome, apk, opts, harness, extraction, shbg)
 
         accesses = collect_accesses(extraction)
         racy_pairs = find_racy_pairs(extraction, shbg, accesses)
+
+        selected_pairs = racy_pairs
+        if opts.only_field:
+            selected_pairs = [
+                p for p in racy_pairs if p.field_name == opts.only_field
+            ]
+            report.only_field = opts.only_field
+            report.racy_pairs_selected = len(selected_pairs)
 
         if opts.compare_without_as:
             report.racy_pairs_no_as = self._racy_pairs_without_as(apk, harness)
@@ -105,14 +161,23 @@ class Sierra:
         with obs.stage("refutation", app=apk.name) as timer:
             summary = None
             if opts.refute:
+                memo = None
+                if cache is not None and outcome is not None:
+                    memo = cache.memo(outcome, opts, opts.path_budget, opts.loop_bound)
+                    memo.prepare(selected_pairs)
                 engine = RefutationEngine(
-                    extraction, path_budget=opts.path_budget, loop_bound=opts.loop_bound
+                    extraction,
+                    path_budget=opts.path_budget,
+                    loop_bound=opts.loop_bound,
+                    memo=memo,
                 )
-                summary = engine.refute_all(racy_pairs, parallelism=opts.parallelism)
+                summary = engine.refute_all(selected_pairs, parallelism=opts.parallelism)
                 surviving = summary.surviving
+                if memo is not None:
+                    memo.flush(summary.results)
                 report.refutation_stats = summary.stats()
             else:
-                surviving = list(racy_pairs)
+                surviving = list(selected_pairs)
         report.time_refutation = timer.seconds
 
         report.harnesses = harness.harness_count()

@@ -51,6 +51,10 @@ class Extraction:
     phase_a: Optional[PointsToResult] = None
     result: Optional[PointsToResult] = None  # precise (phase C)
     selector: Optional[ContextSelector] = None
+    #: the phase-A solver itself (not just its result): its dependency index
+    #: is what the substrate cache pickles so a later run can resume the
+    #: worklist incrementally after an additive app change
+    phase_a_analysis: Optional[PointerAnalysis] = field(default=None, repr=False)
     #: (parent action id | None, creation site id, entry method id) -> action
     _by_key: Dict[Tuple[Optional[int], int, int], Action] = field(default_factory=dict)
 
@@ -88,27 +92,37 @@ class ActionExtractor:
         selector: Optional[ContextSelector] = None,
         index_sensitive_arrays: bool = False,
         solver: str = "worklist",
+        phase_a_seed=None,
     ):
         self.apk = apk
         self.harness = harness
         self.selector = selector if selector is not None else ActionSensitiveSelector()
         self.index_sensitive_arrays = index_sensitive_arrays
         self.solver = solver
+        # (PointerAnalysis, invalidated methods) from the substrate cache:
+        # resume the old phase-A fixpoint instead of solving from cold
+        self.phase_a_seed = phase_a_seed
 
     # ------------------------------------------------------------------
     def extract(self) -> Extraction:
         ext = Extraction(apk=self.apk, harness=self.harness, selector=self.selector)
 
-        phase_a = PointerAnalysis(
-            self.apk.program,
-            self.harness.entries,
-            selector=InsensitiveSelector(),
-            layouts=self.apk.layouts,
-            dispatch_table=self.harness.dispatch_table,
-            index_sensitive_arrays=self.index_sensitive_arrays,
-            solver=self.solver,
-        ).solve()
+        if self.phase_a_seed is not None:
+            analysis, invalidated = self.phase_a_seed
+            phase_a = analysis.resume(invalidated)
+        else:
+            analysis = PointerAnalysis(
+                self.apk.program,
+                self.harness.entries,
+                selector=InsensitiveSelector(),
+                layouts=self.apk.layouts,
+                dispatch_table=self.harness.dispatch_table,
+                index_sensitive_arrays=self.index_sensitive_arrays,
+                solver=self.solver,
+            )
+            phase_a = analysis.solve()
         ext.phase_a = phase_a
+        ext.phase_a_analysis = analysis if self.solver == "worklist" else None
 
         self._collect_event_actions(ext, phase_a)
         self._collect_posted_actions(ext, phase_a)
@@ -344,6 +358,7 @@ def extract_actions(
     selector: Optional[ContextSelector] = None,
     index_sensitive_arrays: bool = False,
     solver: str = "worklist",
+    phase_a_seed=None,
 ) -> Extraction:
     """Convenience wrapper running the full extraction."""
     return ActionExtractor(
@@ -352,4 +367,5 @@ def extract_actions(
         selector=selector,
         index_sensitive_arrays=index_sensitive_arrays,
         solver=solver,
+        phase_a_seed=phase_a_seed,
     ).extract()

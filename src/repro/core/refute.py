@@ -103,12 +103,16 @@ class RefutationEngine:
         extraction: Extraction,
         path_budget: int = 5000,
         loop_bound: int = 2,
+        memo=None,
     ) -> None:
         assert extraction.result is not None
         self.ext = extraction
         self.result = extraction.result
         self.path_budget = path_budget
         self.loop_bound = loop_bound
+        #: persistent cross-run verdict memo (repro.cache.memo.RefutationMemo)
+        #: or None; consulted before any symbolic execution per candidate
+        self.memo = memo
         self._icfg_cache: Dict[int, ActionICFG] = {}
         self._facts_cache: Dict[int, Dict[Location, object]] = {}
         # §5 caching: ICFG nodes only ever seen on refuted explorations.
@@ -137,7 +141,12 @@ class RefutationEngine:
             for attempt in (1, 2):
                 try:
                     summary = _refute_parallel(
-                        self.ext, pairs, self.path_budget, self.loop_bound, parallelism
+                        self.ext,
+                        pairs,
+                        self.path_budget,
+                        self.loop_bound,
+                        parallelism,
+                        memo=self.memo,
                     )
                 except WorkerPoolError as exc:
                     degraded_reason = exc.cause_traceback
@@ -200,6 +209,18 @@ class RefutationEngine:
             hist.observe(result.nodes_expanded)
 
     def refute(self, pair: RacyPair) -> RefutationResult:
+        if self.memo is not None:
+            verdict = self.memo.lookup(pair)
+            if verdict is not None:
+                is_race, ordering, budget = verdict
+                return RefutationResult(
+                    pair=pair,
+                    is_race=is_race,
+                    refuted_ordering=ordering,
+                    budget_exceeded=budget,
+                    nodes_expanded=0,
+                    cache_hits=1,
+                )
         result = RefutationResult(pair=pair, is_race=True)
         a1, a2 = pair.access1, pair.access2
         with obs.span(
@@ -359,7 +380,7 @@ class RefutationEngine:
 # parallel driver
 # ----------------------------------------------------------------------
 #: job state a forked worker inherits: (extraction, path_budget, loop_bound,
-#: chunks). Set only for the lifetime of the pool; never pickled.
+#: chunks, memo). Set only for the lifetime of the pool; never pickled.
 _FORK_JOB: Optional[tuple] = None
 
 
@@ -378,9 +399,12 @@ def _refute_chunk(
     re-emits them.
     """
     assert _FORK_JOB is not None
-    extraction, path_budget, loop_bound, chunks = _FORK_JOB
+    extraction, path_budget, loop_bound, chunks, memo = _FORK_JOB
+    # the memo snapshot (keys + entries, prepared pre-fork) came over with
+    # the fork; id(pair) lookups still resolve because the pair objects are
+    # the parent's. Workers only read it — the parent persists post-join.
     engine = RefutationEngine(
-        extraction, path_budget=path_budget, loop_bound=loop_bound
+        extraction, path_budget=path_budget, loop_bound=loop_bound, memo=memo
     )
     out = []
     with obs.Recorder() as recorder:
@@ -407,6 +431,7 @@ def _refute_parallel(
     path_budget: int,
     loop_bound: int,
     parallelism: int,
+    memo=None,
 ) -> Optional[RefutationSummary]:
     """Fan candidate pairs out over a ``fork`` process pool.
 
@@ -433,7 +458,7 @@ def _refute_parallel(
         chunks.append(pairs[start : start + size])
         start += size
 
-    _FORK_JOB = (extraction, path_budget, loop_bound, chunks)
+    _FORK_JOB = (extraction, path_budget, loop_bound, chunks, memo)
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers, mp_context=mp_context

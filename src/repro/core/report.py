@@ -108,6 +108,12 @@ class SierraReport:
     time_refutation: float = 0.0
     edges_by_rule: Dict[str, int] = field(default_factory=dict)
     refutation_stats: Dict[str, int] = field(default_factory=dict)
+    #: targeted query (``--only-field``): the queried field signature and
+    #: how many of the enumerated racy pairs matched it. ``racy_pairs``
+    #: always counts the full enumeration; only matching pairs were refuted
+    #: and reported.
+    only_field: Optional[str] = None
+    racy_pairs_selected: Optional[int] = None
 
     @property
     def time_total(self) -> float:
@@ -168,6 +174,8 @@ class SierraReport:
             "racy_pairs_without_action_sensitivity": self.racy_pairs_no_as,
             "racy_pairs": self.racy_pairs,
             "races_after_refutation": self.races_after_refutation,
+            "only_field": self.only_field,
+            "racy_pairs_selected": self.racy_pairs_selected,
             "edges_by_rule": dict(self.edges_by_rule),
             "refutation": dict(self.refutation_stats),
             "timings_seconds": {

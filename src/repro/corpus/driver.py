@@ -168,6 +168,7 @@ def _execute_app(
     options_dict: Dict[str, object],
     inject_fail: bool,
     inject_hang_s: float,
+    inject_cache_corrupt: bool = False,
 ) -> Dict[str, object]:
     """Run one app's pipeline; return the JSON-ready payload.
 
@@ -188,6 +189,16 @@ def _execute_app(
             # parent's timeout record name the stage the worker died inside
             with obs.stage("inject-hang", app=name):
                 time.sleep(inject_hang_s)
+        if inject_cache_corrupt and options_dict.get("cache_dir"):
+            from repro.cache import corrupt_store_for_testing
+
+            damaged = corrupt_store_for_testing(str(options_dict["cache_dir"]))
+            obs.emit_warning(
+                f"injected cache corruption for {name!r}: truncated "
+                f"{damaged} entries (--inject-cache-corrupt)",
+                stage="cache",
+                entries=damaged,
+            )
         apk = load_app(name)
         result = Sierra(SierraOptions(**options_dict)).analyze(apk)
     report = result.report
@@ -244,7 +255,9 @@ class _PipeStreamer:
             pass  # parent gone; the worker is about to die anyway
 
 
-def _run_app_worker(conn, name, options_dict, inject_fail, inject_hang_s) -> None:
+def _run_app_worker(
+    conn, name, options_dict, inject_fail, inject_hang_s, inject_cache_corrupt
+) -> None:
     """Forked worker: run one app, ship the payload through the pipe.
 
     Catches *everything* (SystemExit from app loading included) — the
@@ -255,7 +268,9 @@ def _run_app_worker(conn, name, options_dict, inject_fail, inject_hang_s) -> Non
     streamer = _PipeStreamer(conn)
     obs.add_hook(streamer)
     try:
-        payload = _execute_app(name, options_dict, inject_fail, inject_hang_s)
+        payload = _execute_app(
+            name, options_dict, inject_fail, inject_hang_s, inject_cache_corrupt
+        )
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         payload = _error_payload(exc)
     finally:
@@ -289,6 +304,7 @@ def _run_one_isolated(
     timeout_s: float,
     inject_fail: bool,
     inject_hang_s: float,
+    inject_cache_corrupt: bool = False,
 ) -> AppRunRecord:
     recv_conn, send_conn = mp_context.Pipe(duplex=False)
     # NOT daemonic: a daemonic worker cannot fork the refutation pool, which
@@ -296,7 +312,14 @@ def _run_one_isolated(
     # explicit instead (terminate/kill + join on every exit path below).
     proc = mp_context.Process(
         target=_run_app_worker,
-        args=(send_conn, name, options_dict, inject_fail, inject_hang_s),
+        args=(
+            send_conn,
+            name,
+            options_dict,
+            inject_fail,
+            inject_hang_s,
+            inject_cache_corrupt,
+        ),
     )
     t0 = time.perf_counter()
     proc.start()
@@ -386,10 +409,13 @@ def _run_one_inline(
     options_dict: Dict[str, object],
     inject_fail: bool,
     inject_hang_s: float,
+    inject_cache_corrupt: bool = False,
 ) -> AppRunRecord:
     t0 = time.perf_counter()
     try:
-        payload = _execute_app(name, options_dict, inject_fail, inject_hang_s)
+        payload = _execute_app(
+            name, options_dict, inject_fail, inject_hang_s, inject_cache_corrupt
+        )
     except Exception as exc:
         payload = _error_payload(exc)
     record = AppRunRecord(app=name, **_record_kwargs(payload))
@@ -428,6 +454,7 @@ def run_corpus(
     out_path: Optional[str] = None,
     inject_fail: Sequence[str] = (),
     inject_hang: Sequence[str] = (),
+    inject_cache_corrupt: Sequence[str] = (),
     progress: Optional[Callable[[AppRunRecord], None]] = None,
     history: Optional[str] = None,
 ) -> RunReport:
@@ -443,6 +470,10 @@ def run_corpus(
     ``inject_fail`` / ``inject_hang`` name apps whose worker raises /
     sleeps past the budget before analysis — the fault-injection hooks the
     acceptance tests (and operators validating a deployment) use.
+    ``inject_cache_corrupt`` names apps whose worker truncates every
+    persistent-cache entry before analysis (no-op without
+    ``options.cache_dir``): the corruption-fallback testing aid — the app
+    must still analyze correctly, cold, with a loud warning.
 
     ``history`` names a run-history ledger db: the batch appends one run
     row, one app row per analyzed app (stages, metrics scrape, fingerprinted
@@ -500,12 +531,13 @@ def run_corpus(
         for name in names:
             fail = name in inject_fail
             hang = hang_s if name in inject_hang else 0.0
+            corrupt = name in inject_cache_corrupt
             if mp_context is not None:
                 record = _run_one_isolated(
-                    mp_context, name, options_dict, timeout_s, fail, hang
+                    mp_context, name, options_dict, timeout_s, fail, hang, corrupt
                 )
             else:
-                record = _run_one_inline(name, options_dict, fail, hang)
+                record = _run_one_inline(name, options_dict, fail, hang, corrupt)
             run.records.append(record)
             if ledger is not None:
                 ledger.record_app(

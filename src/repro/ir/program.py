@@ -77,6 +77,15 @@ class Method:
     def instructions(self) -> Iterator[Instruction]:
         return iter(self.body)
 
+    def __getstate__(self):
+        # The cached CFG keys blocks by id(instruction) — ids from the
+        # pickling process are garbage after a load, so a restored CFG would
+        # answer every block_of/dominates probe wrong. Drop the cache and
+        # let it rebuild lazily against the restored body.
+        state = dict(self.__dict__)
+        state["_cfg"] = None
+        return state
+
     def __repr__(self) -> str:
         return f"<Method {self.signature}>"
 

@@ -13,6 +13,7 @@ from repro.perf.bench import (
     collect_stage_timings,
     compare_to_baseline,
     run_bench,
+    run_warm_bench,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "collect_stage_timings",
     "compare_to_baseline",
     "run_bench",
+    "run_warm_bench",
 ]

@@ -99,12 +99,12 @@ def collect_counters(result=None) -> Dict[str, int]:
     return {key: int(registry.value(name)) for key, name in COUNTER_METRICS.items()}
 
 
-def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:
-    """Run the pipeline once and record stage timings + effort counters."""
+def _bench_app_result(name: str, options: Optional[SierraOptions] = None):
+    """One pipeline run: (BENCH record, full SierraResult)."""
     apk = _load_app(name)
     result = Sierra(options or SierraOptions()).analyze(apk)
     report = result.report
-    return {
+    record = {
         "stages": collect_stage_timings(result),
         "counters": collect_counters(result),
         "report": {
@@ -113,6 +113,13 @@ def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, o
             "edges_by_rule": dict(report.edges_by_rule),
         },
     }
+    return record, result
+
+
+def bench_app(name: str, options: Optional[SierraOptions] = None) -> Dict[str, object]:
+    """Run the pipeline once and record stage timings + effort counters."""
+    record, _result = _bench_app_result(name, options)
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +219,117 @@ def bench_pointsto(name: str = SPEEDUP_APP, repeats: int = 3) -> Dict[str, objec
 
 
 # ----------------------------------------------------------------------
+# warm re-analysis bench (persistent substrate cache)
+# ----------------------------------------------------------------------
+#: cache effort counters added to the warm pass records (the cold/base
+#: vocabulary in :data:`COUNTER_METRICS` stays unchanged — BENCH baselines
+#: and corpus reports keep their schema)
+_WARM_COUNTER_METRICS: Dict[str, str] = {
+    "cache_substrate_hits": "cache.substrate_hits",
+    "cache_substrate_misses": "cache.substrate_misses",
+    "cache_refutation_memo_hits": "cache.refutation_memo_hits",
+    "cache_refutation_memo_stored": "cache.refutation_memo_stored",
+    "refutation_cache_hits": "refutation.cache_hits",
+}
+
+
+def _warm_counters() -> Dict[str, int]:
+    from repro.obs import metrics
+
+    registry = metrics.registry()
+    return {
+        key: int(registry.value(name))
+        for key, name in _WARM_COUNTER_METRICS.items()
+    }
+
+
+def run_warm_bench(
+    apps: Sequence[str],
+    cache_dir: str,
+    parallelism: int = 1,
+    history: Optional[str] = None,
+) -> Dict[str, object]:
+    """Cold-then-warm per app against the persistent substrate cache.
+
+    Both passes run with the cache enabled: the first populates it (cold —
+    assuming a fresh cache directory), the second replays it (warm). Every
+    per-app result of both passes is recorded as an ``analyze`` ledger run
+    — race fingerprints and refutation verdicts included — and the two
+    runs are then machine-diffed (:func:`repro.obs.diffing.diff_runs`):
+    the cache is only a speedup if the warm results are *identical*, so
+    any new/fixed race or verdict flip marks the warm suite as divergent
+    (``repro bench --warm`` exits 2 on that).
+
+    The equivalence ledger defaults to ``warm_equivalence.sqlite`` inside
+    the cache directory when no ``history`` ledger is given.
+    """
+    import dataclasses
+    import os
+
+    from repro.obs.diffing import diff_runs
+    from repro.obs.history import KIND_ANALYZE, RunLedger
+
+    options = SierraOptions(parallelism=parallelism, cache_dir=cache_dir)
+    os.makedirs(cache_dir, exist_ok=True)
+    ledger_path = history or os.path.join(cache_dir, "warm_equivalence.sqlite")
+    passes: Dict[str, Dict[str, object]] = {}
+    run_ids: Dict[str, str] = {}
+    with RunLedger(ledger_path) as ledger:
+        for mode in ("cold", "warm"):
+            run_id = ledger.begin_run(
+                KIND_ANALYZE,
+                dataclasses.asdict(options),
+                meta={"bench_warm_pass": mode},
+            )
+            run_ids[mode] = run_id
+            records: Dict[str, Dict[str, object]] = {}
+            for name in apps:
+                record, result = _bench_app_result(name, options)
+                record["counters"].update(_warm_counters())
+                ledger.record_analysis(
+                    run_id, name, result, elapsed_s=record["stages"]["total"]
+                )
+                records[name] = record
+            passes[mode] = records
+        diff = diff_runs(ledger, run_ids["cold"], run_ids["warm"])
+
+    divergences = []
+    if diff.new_races:
+        divergences.append(f"{len(diff.new_races)} new races")
+    if diff.fixed_races:
+        divergences.append(f"{len(diff.fixed_races)} fixed races")
+    if diff.verdict_flips:
+        divergences.append(f"{len(diff.verdict_flips)} verdict flips")
+
+    warm_apps: Dict[str, Dict[str, object]] = {}
+    for name in apps:
+        cold_s = passes["cold"][name]["stages"]["total"]
+        warm_s = passes["warm"][name]["stages"]["total"]
+        warm_apps[name] = {
+            "cold_total_s": cold_s,
+            "warm_total_s": warm_s,
+            "warm_speedup": round(cold_s / warm_s, 2) if warm_s else float("inf"),
+            "stages": passes["warm"][name]["stages"],
+            "counters": passes["warm"][name]["counters"],
+        }
+    return {
+        "cache_dir": cache_dir,
+        "ledger": ledger_path,
+        "cold_run": run_ids["cold"],
+        "warm_run": run_ids["warm"],
+        "cold_apps": passes["cold"],
+        "apps": warm_apps,
+        "equivalence": {
+            "identical": not divergences,
+            "divergences": "; ".join(divergences),
+            "new_races": len(diff.new_races),
+            "fixed_races": len(diff.fixed_races),
+            "verdict_flips": len(diff.verdict_flips),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # driver + regression gate
 # ----------------------------------------------------------------------
 def run_bench(
@@ -220,6 +338,8 @@ def run_bench(
     out_path: Optional[str] = "BENCH_pipeline.json",
     parallelism: int = 1,
     history: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    warm: bool = False,
 ) -> Dict[str, object]:
     """Run the full bench suite; write and return the BENCH record.
 
@@ -228,7 +348,14 @@ def run_bench(
     carry no race rows) so ``repro diff`` can gate timings across bench
     runs. A malformed ledger raises
     :class:`~repro.obs.history.LedgerError` before any bench runs.
+
+    ``warm=True`` (requires ``cache_dir``) additionally runs
+    :func:`run_warm_bench` and attaches its record under ``"warm"``. The
+    per-app numbers under ``"apps"`` are the warm suite's *cold* pass, so
+    the written file stays a valid cold baseline for the regression gate.
     """
+    if warm and not cache_dir:
+        raise ValueError("warm bench requires a cache directory")
     ledger = None
     if history:
         from repro.obs.history import KIND_BENCH, RunLedger
@@ -254,7 +381,19 @@ def run_bench(
             "pointsto": pointsto,
             "hbg_cg_pa_combined": round(slow / fast, 2) if fast else float("inf"),
         }
-    data["apps"] = {name: bench_app(name, options) for name in apps}
+    if warm:
+        warm_data = run_warm_bench(
+            apps, cache_dir, parallelism=parallelism, history=history
+        )
+        # the warm suite's cold pass doubles as this record's app numbers:
+        # the written file stays a valid cold baseline
+        data["apps"] = warm_data.pop("cold_apps")
+        data["warm"] = warm_data
+    else:
+        if cache_dir:
+            options = SierraOptions(parallelism=parallelism, cache_dir=cache_dir)
+            data["cache_dir"] = cache_dir
+        data["apps"] = {name: bench_app(name, options) for name in apps}
     if ledger is not None:
         try:
             run_id = ledger.begin_run(

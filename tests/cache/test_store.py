@@ -1,0 +1,169 @@
+"""Content-addressed store: roundtrip, corruption fallback, stats, gc."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.cache import (
+    CACHE_VERSION,
+    SubstrateStore,
+    cache_dir_from_env,
+    corrupt_store_for_testing,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = SubstrateStore(str(tmp_path / "cache"))
+    yield s
+    s.close()
+
+
+class TestRoundtrip:
+    def test_put_get(self, store):
+        assert store.put("verdict", "a" * 48, (True, None, False))
+        assert store.get("verdict", "a" * 48) == (True, None, False)
+
+    def test_missing_is_miss(self, store):
+        assert store.get("verdict", "f" * 48) is None
+
+    def test_kinds_are_disjoint(self, store):
+        store.put("verdict", "a" * 48, 1)
+        assert store.get("substrate", "a" * 48) is None
+
+    def test_overwrite(self, store):
+        store.put("verdict", "a" * 48, 1)
+        store.put("verdict", "a" * 48, 2)
+        assert store.get("verdict", "a" * 48) == 2
+
+
+class TestCorruption:
+    """A damaged entry must warn loudly, count, and fall back to a miss —
+    never crash, never silently serve bad bytes."""
+
+    def _assert_corrupt_miss(self, store, key="a" * 48):
+        with obs.Recorder() as rec:
+            assert store.get("verdict", key) is None
+        assert any("corrupt" in w for w in rec.warnings())
+        # the entry is dropped so the next lookup is a plain miss
+        assert not os.path.exists(store._path("verdict", key))
+
+    def test_truncated_payload(self, store):
+        store.put("verdict", "a" * 48, (True, None, False))
+        path = store._path("verdict", "a" * 48)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        self._assert_corrupt_miss(store)
+
+    def test_bad_magic(self, store):
+        store.put("verdict", "a" * 48, 1)
+        path = store._path("verdict", "a" * 48)
+        with open(path, "wb") as fh:
+            fh.write(b'{"magic": "nope"}\n')
+        self._assert_corrupt_miss(store)
+
+    def test_version_mismatch(self, store):
+        store.put("verdict", "a" * 48, 1)
+        path = store._path("verdict", "a" * 48)
+        with open(path, "rb") as fh:
+            header = json.loads(fh.readline())
+            payload = fh.read()
+        header["version"] = CACHE_VERSION + 1
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n" + payload)
+        self._assert_corrupt_miss(store)
+
+    def test_checksum_mismatch(self, store):
+        store.put("verdict", "a" * 48, 1)
+        path = store._path("verdict", "a" * 48)
+        with open(path, "rb") as fh:
+            header = fh.readline()
+            payload = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(header + payload[:-1] + bytes([payload[-1] ^ 0xFF]))
+        self._assert_corrupt_miss(store)
+
+    def test_not_json_header(self, store):
+        store.put("verdict", "a" * 48, 1)
+        with open(store._path("verdict", "a" * 48), "wb") as fh:
+            fh.write(b"\x00\x01garbage")
+        self._assert_corrupt_miss(store)
+
+    def test_corrupt_helper_truncates_every_entry(self, store):
+        store.put("verdict", "a" * 48, 1)
+        store.put("substrate", "b" * 48, {"x": list(range(100))})
+        assert corrupt_store_for_testing(store.root) == 2
+        assert store.get("verdict", "a" * 48) is None
+        assert store.get("substrate", "b" * 48) is None
+
+    def test_corruption_counts_in_stats(self, store):
+        store.put("verdict", "a" * 48, 1)
+        corrupt_store_for_testing(store.root)
+        store.get("verdict", "a" * 48)
+        stats = store.stats()
+        assert stats["corrupt"] == 1
+
+
+class TestStatsAndGc:
+    def test_stats_shape(self, store):
+        store.put("verdict", "a" * 48, 1)
+        store.get("verdict", "a" * 48)
+        store.get("verdict", "b" * 48)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["by_kind"]["verdict"]["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert 0 < stats["hit_rate"] < 1
+
+    def test_gc_by_age_evicts_everything_at_zero(self, store):
+        store.put("verdict", "a" * 48, 1)
+        store.put("verdict", "b" * 48, 2)
+        time.sleep(0.01)
+        result = store.gc(max_age_days=0)
+        assert result["removed"] == 2
+        assert store.get("verdict", "a" * 48) is None
+
+    def test_gc_by_bytes_keeps_most_recent(self, store):
+        store.put("verdict", "a" * 48, 1)
+        store.put("verdict", "b" * 48, 2)
+        store.get("verdict", "b" * 48)  # touch: b is most recently used
+        one_entry = store.stats()["bytes"] // 2 + 1
+        result = store.gc(max_bytes=one_entry)
+        assert result["removed"] == 1
+        assert store.get("verdict", "b" * 48) == 2
+
+    def test_gc_noop_without_limits(self, store):
+        store.put("verdict", "a" * 48, 1)
+        assert store.gc()["removed"] == 0
+
+    def test_metadata_db_unusable_degrades(self, tmp_path):
+        """A broken sqlite sidecar must never break the object store."""
+        root = tmp_path / "cache"
+        store = SubstrateStore(str(root))
+        store.put("verdict", "a" * 48, 1)
+        store.close()
+        (root / "meta.sqlite").write_bytes(b"not a database")
+        store2 = SubstrateStore(str(root))
+        with obs.Recorder() as rec:
+            assert store2.get("verdict", "a" * 48) == 1
+        assert any("metadata db unusable" in w for w in rec.warnings())
+        store2.close()
+
+
+class TestEnvHelper:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "/env/dir")
+        assert cache_dir_from_env("/flag/dir") == "/flag/dir"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "/env/dir")
+        assert cache_dir_from_env(None) == "/env/dir"
+
+    def test_disabled_without_either(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_dir_from_env(None) is None
