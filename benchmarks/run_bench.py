@@ -7,6 +7,8 @@ Usage (from the repo root):
     PYTHONPATH=src python benchmarks/run_bench.py --update   # refresh baseline
     PYTHONPATH=src python benchmarks/run_bench.py --history perf.db
                                                   # gate vs the run ledger
+    PYTHONPATH=src python benchmarks/run_bench.py --serve
+                                                  # serve/CLI equivalence gate
 
 The gate re-runs the pipeline benches (skipping the slower naive-baseline
 speedup measurement so the whole run stays under a minute), then fails with
@@ -145,6 +147,47 @@ def warm_gate(args) -> int:
     return 0
 
 
+def serve_gate(args) -> int:
+    """Daemon-under-load suite: throughput + serve/CLI equivalence.
+
+    Mirrors :func:`warm_gate` — always prints apps/sec and latency
+    percentiles; exits 2 when any app's serve-mode run diverges from its
+    CLI one-shot (race fingerprints or refutation verdicts). With
+    ``--update`` the full suite re-runs and the combined record (cold
+    baseline under ``apps``, daemon numbers under ``serve``) rewrites
+    ``--baseline``.
+    """
+    from repro.perf.bench import SPEEDUP_APP
+
+    cache_dir = args.cache or tempfile.mkdtemp(prefix="repro-cache-")
+    out_path = str(args.baseline) if args.update else None
+    data = run_bench(
+        speedup_app=SPEEDUP_APP if args.update else None,
+        out_path=out_path,
+        cache_dir=cache_dir,
+        history=args.history,
+        serve=True,
+    )
+    serve = data["serve"]
+    for app, record in serve["apps"].items():
+        print(f"{app:18s} job={record['job_status']:8s} "
+              f"latency={record['latency_s']:.3f}s "
+              f"equivalent={record.get('equivalent')}")
+    print(f"\n{serve['workers']} workers / concurrency "
+          f"{serve['concurrency']}: {serve['apps_per_s']:.2f} apps/s, "
+          f"p50={serve['latency_p50_s']:.3f}s p99={serve['latency_p99_s']:.3f}s")
+    equivalence = serve["equivalence"]
+    if not equivalence["identical"]:
+        print(f"\nSERVE/CLI DIVERGENCE: {equivalence['divergences']} "
+              f"(ledger {serve['ledger']})", file=sys.stderr)
+        return 2
+    if out_path:
+        print(f"baseline updated: {out_path}")
+    print("ok: serve results identical to CLI one-shots "
+          "(fingerprints and refutation verdicts)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -163,9 +206,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="cache directory for --warm (default: a fresh "
                         "temporary directory)")
+    parser.add_argument("--serve", action="store_true",
+                        help="bench an in-process serve daemon under load; "
+                        "gate serve/CLI result equivalence (exit 2 on "
+                        "divergence) and report apps/sec + p50/p99")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
+    if args.serve:
+        return serve_gate(args)
     if args.warm:
         return warm_gate(args)
     if args.history:

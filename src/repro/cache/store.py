@@ -55,7 +55,14 @@ class SubstrateStore:
         # must not pay a sqlite commit each — accumulate here, flush once
         # (on close/stats/gc) in a single transaction
         self._pending_stats: Dict[str, int] = {}
-        self._pending_index: Dict[Tuple[str, str], Tuple[Optional[int], float, float]] = {}
+        self._pending_index: Dict[
+            Tuple[str, str], Tuple[Optional[int], float, float, int]
+        ] = {}
+        # LRU tie-breaker: wall-clock timestamps collide (same-second puts,
+        # coarse filesystem mtimes), so every put/touch also takes the next
+        # value of this counter — eviction order among timestamp ties is
+        # then oldest-use-first, deterministically
+        self._seq = 0
 
     # ------------------------------------------------------------------
     # sqlite metadata (advisory: never allowed to break analysis)
@@ -75,13 +82,22 @@ class SubstrateStore:
                     "CREATE TABLE IF NOT EXISTS entries ("
                     " kind TEXT NOT NULL, key TEXT NOT NULL,"
                     " bytes INTEGER NOT NULL, created_ts REAL NOT NULL,"
-                    " last_used_ts REAL NOT NULL, PRIMARY KEY (kind, key))"
+                    " last_used_ts REAL NOT NULL, seq INTEGER NOT NULL DEFAULT 0,"
+                    " PRIMARY KEY (kind, key))"
                 )
+                try:  # migrate pre-seq stores in place
+                    conn.execute(
+                        "ALTER TABLE entries ADD COLUMN seq INTEGER NOT NULL DEFAULT 0"
+                    )
+                except sqlite3.OperationalError:
+                    pass  # column already present
                 conn.execute(
                     "INSERT OR IGNORE INTO stats (key, value) VALUES ('created_ts', ?)",
                     (int(time.time()),),
                 )
                 conn.commit()
+                row = conn.execute("SELECT MAX(seq) FROM entries").fetchone()
+                self._seq = max(self._seq, int(row[0] or 0))
                 self._conn = conn
             except sqlite3.Error as exc:
                 self._meta_broken = True
@@ -98,20 +114,28 @@ class SubstrateStore:
             return
         self._pending_stats[stat] = self._pending_stats.get(stat, 0) + amount
 
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
     def _index_put(self, kind: str, key: str, nbytes: int) -> None:
         if self._meta() is None:
             return
         now = time.time()
-        self._pending_index[(kind, key)] = (nbytes, now, now)
+        self._pending_index[(kind, key)] = (nbytes, now, now, self._next_seq())
 
     def _index_touch(self, kind: str, key: str) -> None:
         if self._meta() is None:
             return
         pending = self._pending_index.get((kind, key))
         if pending is not None and pending[0] is not None:
-            self._pending_index[(kind, key)] = (pending[0], pending[1], time.time())
+            self._pending_index[(kind, key)] = (
+                pending[0], pending[1], time.time(), self._next_seq()
+            )
         else:
-            self._pending_index[(kind, key)] = (None, 0.0, time.time())
+            self._pending_index[(kind, key)] = (
+                None, 0.0, time.time(), self._next_seq()
+            )
 
     def _index_drop(self, kind: str, key: str) -> None:
         self._pending_index.pop((kind, key), None)
@@ -140,25 +164,27 @@ class SubstrateStore:
                 [(stat, amount, amount) for stat, amount in stats.items()],
             )
             puts = [
-                (kind, key, nbytes, created, used, nbytes, used)
-                for (kind, key), (nbytes, created, used) in index.items()
+                (kind, key, nbytes, created, used, seq, nbytes, used, seq)
+                for (kind, key), (nbytes, created, used, seq) in index.items()
                 if nbytes is not None
             ]
             touches = [
-                (used, kind, key)
-                for (kind, key), (nbytes, _created, used) in index.items()
+                (used, seq, kind, key)
+                for (kind, key), (nbytes, _created, used, seq) in index.items()
                 if nbytes is None
             ]
             if puts:
                 conn.executemany(
-                    "INSERT INTO entries (kind, key, bytes, created_ts, last_used_ts) "
-                    "VALUES (?, ?, ?, ?, ?) "
-                    "ON CONFLICT(kind, key) DO UPDATE SET bytes = ?, last_used_ts = ?",
+                    "INSERT INTO entries (kind, key, bytes, created_ts, "
+                    "last_used_ts, seq) VALUES (?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT(kind, key) DO UPDATE SET bytes = ?, "
+                    "last_used_ts = ?, seq = ?",
                     puts,
                 )
             if touches:
                 conn.executemany(
-                    "UPDATE entries SET last_used_ts = ? WHERE kind = ? AND key = ?",
+                    "UPDATE entries SET last_used_ts = ?, seq = ? "
+                    "WHERE kind = ? AND key = ?",
                     touches,
                 )
             conn.commit()
@@ -272,24 +298,25 @@ class SubstrateStore:
     # ------------------------------------------------------------------
     # stats / gc
     # ------------------------------------------------------------------
-    def _entries(self) -> List[Tuple[str, str, int, float, float]]:
-        """(kind, key, bytes, created_ts, last_used_ts) from disk truth.
+    def _entries(self) -> List[Tuple[str, str, int, float, float, int]]:
+        """(kind, key, bytes, created_ts, last_used_ts, seq) from disk truth.
 
         Walks the object tree (the sqlite index is advisory), merging in
-        index timestamps when available.
+        index timestamps and use-sequence numbers when available (entries
+        the index never saw get seq 0 — older than everything tracked).
         """
         self._flush_meta()
-        index: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        index: Dict[Tuple[str, str], Tuple[float, float, int]] = {}
         conn = self._meta()
         if conn is not None:
             try:
-                for kind, key, created, used in conn.execute(
-                    "SELECT kind, key, created_ts, last_used_ts FROM entries"
+                for kind, key, created, used, seq in conn.execute(
+                    "SELECT kind, key, created_ts, last_used_ts, seq FROM entries"
                 ):
-                    index[(kind, key)] = (created, used)
+                    index[(kind, key)] = (created, used, int(seq or 0))
             except sqlite3.Error:
                 self._meta_broken = True
-        out: List[Tuple[str, str, int, float, float]] = []
+        out: List[Tuple[str, str, int, float, float, int]] = []
         for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
             for filename in filenames:
                 if not filename.endswith(".bin"):
@@ -301,8 +328,10 @@ class SubstrateStore:
                     stat = os.stat(path)
                 except OSError:
                     continue
-                created, used = index.get((kind, key), (stat.st_mtime, stat.st_mtime))
-                out.append((kind, key, stat.st_size, created, used))
+                created, used, seq = index.get(
+                    (kind, key), (stat.st_mtime, stat.st_mtime, 0)
+                )
+                out.append((kind, key, stat.st_size, created, used, seq))
         out.sort()
         return out
 
@@ -322,7 +351,7 @@ class SubstrateStore:
                 self._meta_broken = True
         entries = self._entries()
         by_kind: Dict[str, Dict[str, int]] = {}
-        for kind, _key, nbytes, _created, _used in entries:
+        for kind, _key, nbytes, _created, _used, _seq in entries:
             slot = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
             slot["entries"] += 1
             slot["bytes"] += nbytes
@@ -352,14 +381,20 @@ class SubstrateStore:
             cutoff = time.time() - max_age_days * 86400.0
             doomed.extend(
                 (kind, key, nbytes)
-                for kind, key, nbytes, _created, used in entries
+                for kind, key, nbytes, _created, used, _seq in entries
                 if used < cutoff
             )
         if max_bytes is not None:
             doomed_keys = {(kind, key) for kind, key, _ in doomed}
             kept = [e for e in entries if (e[0], e[1]) not in doomed_keys]
             total = sum(e[2] for e in kept)
-            for kind, key, nbytes, _created, _used in sorted(kept, key=lambda e: e[4]):
+            # LRU by (last-used timestamp, use sequence): the seq breaks
+            # same-timestamp ties deterministically (oldest use first);
+            # (kind, key) is the final, fully-deterministic fallback for
+            # untracked entries sharing seq 0
+            for kind, key, nbytes, _created, _used, _seq in sorted(
+                kept, key=lambda e: (e[4], e[5], e[0], e[1])
+            ):
                 if total <= max_bytes:
                     break
                 doomed.append((kind, key, nbytes))

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
+import signal
 import sys
 import time
 from typing import List, Optional, Tuple
@@ -332,6 +334,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             history=_history_path(args),
             cache_dir=cache_dir,
             warm=args.warm,
+            serve=args.serve,
+            serve_workers=args.serve_workers,
+            serve_concurrency=args.serve_concurrency,
         )
     except LedgerError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -367,6 +372,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{pointsto['worklist_s']:.3f}s ({pointsto['speedup']:.1f}x)\n"
             f"  HBG + CG/PA combined: {speedup['hbg_cg_pa_combined']:.1f}x"
         )
+    serve_block = data.get("serve")
+    if serve_block:
+        print(
+            f"\nserve mode ({serve_block['workers']} workers, concurrency "
+            f"{serve_block['concurrency']}, "
+            f"{'forked' if serve_block['isolated'] else 'in-process'}): "
+            f"{serve_block['apps_per_s']:.2f} apps/s, latency "
+            f"p50 {serve_block['latency_p50_s']:.2f}s "
+            f"p99 {serve_block['latency_p99_s']:.2f}s"
+        )
+        equivalence = serve_block["equivalence"]
+        if not equivalence["identical"]:
+            print(
+                "bench: serve results diverge from CLI one-shots "
+                f"({equivalence['divergences']})",
+                file=sys.stderr,
+            )
+            if args.out:
+                print(f"\nwrote {args.out}")
+            return 2
+        print("serve/CLI equivalence: identical fingerprints and verdicts")
     warm = data.get("warm")
     if warm:
         warm_rows = [
@@ -398,8 +424,131 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon in the foreground until interrupted."""
+    from repro.serve import ServeDaemon, ServeError
+
+    history = _history_path(args)
+    if not history:
+        print(
+            "serve: the job queue lives in the history ledger "
+            "(pass --history DB or set REPRO_HISTORY)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs.history import LedgerError
+    from repro.serve import DEFAULT_HOST, DEFAULT_PORT
+
+    try:
+        daemon = ServeDaemon(
+            history,
+            options=_options_from(args),
+            workers=args.workers,
+            host=args.host or DEFAULT_HOST,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            job_timeout_s=args.job_timeout,
+            isolate=not args.no_isolation,
+        )
+        daemon.start()
+    except (LedgerError, ServeError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    mode = "forked" if daemon.pool.isolated else "in-process (no fork here)"
+    print(f"serving on {daemon.url} — {args.workers} {mode} worker(s)")
+    print(f"job queue + results: {history}")
+    if daemon.recovered_jobs:
+        print(f"requeued {daemon.recovered_jobs} job(s) a previous daemon left running")
+    print("Ctrl-C to stop", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        return 0
+    finally:
+        daemon.stop()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Client: enqueue one analysis on a running daemon."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    options = {}
+    for pair in args.option or ():
+        key, sep, value = pair.partition("=")
+        if not sep:
+            print(f"submit: --option takes KEY=VALUE, got {pair!r}", file=sys.stderr)
+            return 2
+        try:
+            options[key] = json.loads(value)
+        except ValueError:
+            options[key] = value  # bare strings need no quoting
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(args.app, options)
+        if args.wait:
+            job = client.wait(str(job["job_id"]), timeout_s=args.timeout)
+    except ServeError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(job, indent=2, sort_keys=True))
+    if args.wait:
+        return 0 if job.get("status") == "done" else 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Client: poll one job, or list recent jobs."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.job_id:
+            payload: object = client.job(args.job_id)
+        else:
+            payload = {"jobs": client.jobs(status=args.status)}
+    except ServeError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2 if exc.status is None else 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """Client: fetch a race report — by job id (``j...``) or run ref."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        ref = args.ref
+        if ref.startswith("j"):
+            job = client.job(ref)
+            if not job.get("run_id"):
+                print(
+                    f"fetch: job {ref} is {job.get('status')!r} — no run yet",
+                    file=sys.stderr,
+                )
+                return 1
+            ref = str(job["run_id"])
+        report = client.report(ref)
+    except ServeError as exc:
+        print(f"fetch: {exc}", file=sys.stderr)
+        return 2 if exc.status is None else 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_corpus_analyze(args: argparse.Namespace) -> int:
     from repro.corpus.driver import run_corpus
+
+    if args.target_url:
+        return _corpus_analyze_remote(args)
 
     def progress(record):
         line = f"[{record.status:>8s}] {record.app} ({record.elapsed_s:.2f}s)"
@@ -440,6 +589,64 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
     if getattr(run, "run_id", None):
         print(f"recorded run {run.run_id} in {run.history_path}", file=sys.stderr)
     return run.exit_code
+
+
+def _corpus_analyze_remote(args: argparse.Namespace) -> int:
+    """``corpus-analyze --target-url``: load-generate against a daemon."""
+    from repro.corpus.driver import run_corpus_remote
+    from repro.serve import ServeError
+
+    if args.inject_fail or args.inject_hang or args.inject_cache_corrupt:
+        print(
+            "corpus-analyze: fault injection flags are local-mode only "
+            "(submit inject_fail/inject_hang as job options instead)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(record):
+        line = f"[{record.status:>8s}] {record.app} ({record.latency_s:.2f}s)"
+        if record.error is not None:
+            line += f" — {record.error['type']}: {record.error['message']}"
+        print(line, flush=True)
+
+    try:
+        report = run_corpus_remote(
+            apps=args.apps,
+            target_url=args.target_url,
+            options=_options_from(args),
+            concurrency=args.concurrency,
+            timeout_s=args.timeout,
+            progress=progress,
+        )
+    except (ValueError, ServeError) as exc:
+        print(f"corpus-analyze: {exc}", file=sys.stderr)
+        return 2
+    summary = report.summary()
+    print(
+        f"\n{summary['total']} apps via {report.target_url} "
+        f"(concurrency {report.concurrency}) in {summary['elapsed_s']:.1f}s: "
+        f"{summary['done']} done, {summary['failed']} failed"
+    )
+    print(
+        f"throughput {summary['apps_per_s']:.2f} apps/s, latency "
+        f"p50 {summary['latency_p50_s']:.2f}s p99 {summary['latency_p99_s']:.2f}s"
+    )
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "summary": summary,
+                    "apps": {r.app: r.to_dict() for r in report.records},
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"wrote {args.out}")
+    return report.exit_code
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
@@ -694,6 +901,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: corrupt every cache entry "
                        "before APP's analysis runs (testing aid, repeatable; "
                        "requires --cache)")
+    batch.add_argument("--target-url", metavar="URL", default=None,
+                       help="load-generator mode: submit the corpus to a "
+                       "running `repro serve` daemon instead of forking "
+                       "locally; records apps/sec and p50/p99 latency")
+    batch.add_argument("--concurrency", type=int, default=4,
+                       help="client threads in --target-url mode (default 4)")
     add_analysis_flags(batch)
     add_history_flag(batch)
     batch.set_defaults(func=cmd_corpus_analyze)
@@ -717,6 +930,16 @@ def build_parser() -> argparse.ArgumentParser:
                        "warm_speedup + hit-rates to the output and gates "
                        "warm/cold result equivalence (needs --cache or "
                        "$REPRO_CACHE; exit 2 on divergence)")
+    bench.add_argument("--serve", action="store_true",
+                       help="also bench an in-process serve daemon under "
+                       "load: apps/sec + p50/p99 latency under 'serve', "
+                       "gating serve/CLI result equivalence (exit 2 on "
+                       "divergence)")
+    bench.add_argument("--serve-workers", type=int, default=2,
+                       help="daemon worker threads for --serve (default 2)")
+    bench.add_argument("--serve-concurrency", type=int, default=4,
+                       help="load-generator client threads for --serve "
+                       "(default 4)")
     add_history_flag(bench)
     bench.set_defaults(func=cmd_bench)
 
@@ -772,7 +995,96 @@ def build_parser() -> argparse.ArgumentParser:
                            help="page title")
     add_history_flag(dashboard)
     dashboard.set_defaults(func=cmd_dashboard)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis daemon: HTTP API + persistent worker pool "
+        "over the history ledger's job queue",
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8787; 0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads draining the job queue (default 2)")
+    serve.add_argument("--job-timeout", type=float, default=120.0,
+                       help="per-job wall-clock budget in seconds (default 120)")
+    serve.add_argument("--no-isolation", action="store_true",
+                       help="run jobs in-process (no worker fork, timeouts "
+                       "not enforced; for debugging)")
+    add_analysis_flags(serve)
+    add_history_flag(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    def add_url_flag(p):
+        p.add_argument("--url", default=None,
+                       help="daemon base URL (default: $REPRO_SERVE_URL, "
+                       "then http://127.0.0.1:8787)")
+
+    submit = sub.add_parser(
+        "submit", help="client: enqueue one analysis on a running daemon")
+    submit.add_argument("app")
+    submit.add_argument("--option", action="append", metavar="KEY=VALUE",
+                        help="job option override (repeatable), e.g. "
+                        "--option selector=kcfa --option k=3")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes (exit 0 done, 1 failed)")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait budget in seconds (default 300)")
+    add_url_flag(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="client: poll one job, or list recent jobs")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list recent jobs)")
+    status.add_argument("--status", default=None,
+                        choices=("queued", "running", "done", "failed"),
+                        help="filter the listing by state")
+    add_url_flag(status)
+    status.set_defaults(func=cmd_status)
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="client: fetch the race report behind a job id or run ref",
+    )
+    fetch.add_argument("ref", help="job id (j...), run id, prefix, or latest")
+    add_url_flag(fetch)
+    fetch.set_defaults(func=cmd_fetch)
     return parser
+
+
+#: conventional exit status for a consumer hanging up early: 128 + SIGPIPE,
+#: what the shell reports for a process actually killed by the signal
+SIGPIPE_EXIT = 128 + int(getattr(signal, "SIGPIPE", 13))
+
+
+def _silence_broken_pipes() -> None:
+    """Point stdout/stderr at ``os.devnull`` after a broken pipe.
+
+    Closing just stdout is not enough: the interpreter flushes *both*
+    streams at exit, and when the consumer (``head``, a dying pager) took
+    stderr down with the same pipe, that exit-time flush tracebacks after
+    main() already returned cleanly. Redirecting the underlying file
+    descriptors makes every later write — ours or the interpreter's —
+    land harmlessly in the null device.
+    """
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+    except OSError:
+        return
+    try:
+        for stream in (sys.stdout, sys.stderr):
+            try:
+                stream.flush()
+            except (OSError, ValueError):
+                pass
+            try:
+                os.dup2(devnull, stream.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass
+    finally:
+        os.close(devnull)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -780,12 +1092,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except BrokenPipeError:
-        # output piped into `head` etc.; exit quietly like a well-behaved tool
-        try:
-            sys.stdout.close()
-        except Exception:
-            pass
-        return 0
+        # output piped into `head` etc.; exit quietly like a well-behaved
+        # tool, with the conventional 128+SIGPIPE status
+        _silence_broken_pipes()
+        return SIGPIPE_EXIT
 
 
 if __name__ == "__main__":

@@ -446,6 +446,162 @@ def _sum_stages(records: List[AppRunRecord]) -> Dict[str, float]:
     return {stage: round(s, 6) for stage, s in sorted(totals.items())}
 
 
+# ----------------------------------------------------------------------
+# remote mode: the driver as a load generator against `repro serve`
+# ----------------------------------------------------------------------
+@dataclass
+class RemoteAppRecord:
+    """Outcome of one app submitted to a serve daemon."""
+
+    app: str
+    status: str  # done | failed
+    job_id: Optional[str] = None
+    run_id: Optional[str] = None
+    #: client-observed submit→terminal latency (queue wait included: this
+    #: is what a caller of the service actually experiences)
+    latency_s: float = 0.0
+    error: Optional[Dict[str, str]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "job_id": self.job_id,
+            "run_id": self.run_id,
+            "latency_s": round(self.latency_s, 4),
+            "error": dict(self.error) if self.error else None,
+        }
+
+
+@dataclass
+class RemoteRunReport:
+    """Aggregate outcome of one ``--target-url`` load run."""
+
+    target_url: str
+    concurrency: int
+    records: List[RemoteAppRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def latencies(self) -> List[float]:
+        return [r.latency_s for r in self.records]
+
+    def summary(self) -> Dict[str, object]:
+        from repro.serve import percentile
+
+        latencies = self.latencies()
+        done = sum(1 for r in self.records if r.status == "done")
+        return {
+            "total": len(self.records),
+            "done": done,
+            "failed": len(self.records) - done,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "apps_per_s": (
+                round(len(self.records) / self.elapsed_s, 3) if self.elapsed_s else 0.0
+            ),
+            "latency_p50_s": round(percentile(latencies, 50), 4),
+            "latency_p99_s": round(percentile(latencies, 99), 4),
+            "latency_max_s": round(max(latencies), 4) if latencies else 0.0,
+            "exit_code": self.exit_code,
+        }
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if all(r.status == "done" for r in self.records) else 1
+
+
+def run_corpus_remote(
+    apps: Optional[Sequence[str]] = None,
+    target_url: str = "",
+    options=None,
+    concurrency: int = 4,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    progress: Optional[Callable[[RemoteAppRecord], None]] = None,
+) -> RemoteRunReport:
+    """Drive a ``repro serve`` daemon with the corpus: the load generator.
+
+    Submits every app as a job from ``concurrency`` client threads, polls
+    each to a terminal status, and records the client-observed latency —
+    the numbers behind the bench suite's ``serve`` block (apps/sec,
+    p50/p99). Unknown app names raise :class:`ValueError` up front (same
+    contract as the local batch); an unreachable daemon raises
+    :class:`~repro.serve.ServeError` before anything is submitted.
+    """
+    import queue as queue_mod
+    import threading
+
+    from repro.cli import is_known_app
+    from repro.serve import ServeClient, ServeError
+
+    names = list(apps) if apps else default_corpus()
+    unknown = [n for n in names if not is_known_app(n)]
+    if unknown:
+        raise ValueError(
+            "unknown corpus app(s): " + ", ".join(repr(n) for n in unknown)
+        )
+    concurrency = max(1, min(int(concurrency), len(names)))
+
+    client = ServeClient(target_url, timeout_s=min(timeout_s, 30.0))
+    client.health()  # connection refused must fail the run up front
+
+    job_options: Dict[str, object] = {}
+    if options is not None:
+        from repro.serve import ALLOWED_JOB_OPTIONS
+
+        job_options = {
+            k: v
+            for k, v in dataclasses.asdict(options).items()
+            if k in ALLOWED_JOB_OPTIONS
+        }
+
+    todo: "queue_mod.Queue[str]" = queue_mod.Queue()
+    for name in names:
+        todo.put(name)
+    report = RemoteRunReport(target_url=client.base_url, concurrency=concurrency)
+    results_lock = threading.Lock()
+
+    def drive() -> None:
+        while True:
+            try:
+                name = todo.get_nowait()
+            except queue_mod.Empty:
+                return
+            t0 = time.perf_counter()
+            try:
+                job = client.submit(name, job_options)
+                final = client.wait(str(job["job_id"]), timeout_s=timeout_s)
+                record = RemoteAppRecord(
+                    app=name,
+                    status=str(final["status"]),
+                    job_id=str(job["job_id"]),
+                    run_id=final.get("run_id"),
+                    latency_s=time.perf_counter() - t0,
+                    error=final.get("error"),
+                )
+            except ServeError as exc:
+                record = RemoteAppRecord(
+                    app=name,
+                    status="failed",
+                    latency_s=time.perf_counter() - t0,
+                    error={"type": "ServeError", "message": str(exc)},
+                )
+            with results_lock:
+                report.records.append(record)
+            if progress is not None:
+                progress(record)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, daemon=True, name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - t0
+    report.records.sort(key=lambda r: r.app)
+    return report
+
+
 def run_corpus(
     apps: Optional[Sequence[str]] = None,
     options=None,

@@ -23,7 +23,13 @@ Per run the ledger records:
 
 The ledger is append-only by convention: nothing in this module updates
 or deletes rows, and the diff/dashboard consumers treat it as an event
-log. The db path comes from ``--history <db>`` or the ``REPRO_HISTORY``
+log. It is also **concurrency-safe**: connections open in WAL mode with
+a busy timeout (:func:`connect_ledger`), every write is one explicit
+``BEGIN IMMEDIATE`` transaction, and a :class:`RunLedger` instance may
+be shared across threads (an internal lock serializes the connection).
+Concurrent writers — the corpus fork-pool's per-app rows, the ``repro
+serve`` worker pool's per-job runs — queue on the database instead of
+dying with ``database is locked``. The db path comes from ``--history <db>`` or the ``REPRO_HISTORY``
 environment variable. A file that is not a ledger (corrupt, not sqlite,
 wrong tables) raises :class:`LedgerError`, which the CLI maps to exit
 code 2 — malformed history must never look like "no regressions".
@@ -34,13 +40,20 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import uuid
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from hashlib import sha256
 from typing import Dict, List, Optional, Sequence
 
 #: layout version stamped on every run row this code writes
 LEDGER_SCHEMA = 1
+
+#: how long a writer waits on a locked database before giving up — long
+#: enough to ride out another writer's whole transaction, short enough
+#: that a wedged holder still surfaces as an error rather than a hang
+LEDGER_BUSY_TIMEOUT_S = 5.0
 
 #: environment fallback for the ledger path (--history wins)
 HISTORY_ENV = "REPRO_HISTORY"
@@ -49,10 +62,47 @@ HISTORY_ENV = "REPRO_HISTORY"
 AGGREGATE_APP = "*"
 
 #: run kinds, for filtering ("bench" runs gate timings, "analyze"/"corpus"
-#: runs carry fingerprinted races)
+#: runs carry fingerprinted races; "serve" runs are daemon jobs — one run
+#: per analysis request, same row shape as "analyze")
 KIND_ANALYZE = "analyze"
 KIND_CORPUS = "corpus"
 KIND_BENCH = "bench"
+KIND_SERVE = "serve"
+
+
+def connect_ledger(
+    path: str, timeout_s: float = LEDGER_BUSY_TIMEOUT_S
+) -> sqlite3.Connection:
+    """Open a ledger-grade sqlite connection: safe for concurrent writers.
+
+    Every connection to a ledger db (the run ledger itself, the serve
+    daemon's job store riding in the same file) goes through here so the
+    concurrency settings cannot drift apart:
+
+    * **WAL journal mode** — readers never block the writer and vice
+      versa; two processes appending runs queue instead of failing;
+    * **busy timeout** (sqlite-level *and* the driver-level ``timeout``)
+      — a second writer waits out the first's transaction instead of
+      raising ``database is locked`` immediately;
+    * **``check_same_thread=False``** — the connection may be used from
+      worker threads; callers serialize access with their own lock
+      (sqlite objects are not internally thread-safe);
+    * **autocommit** (``isolation_level=None``) — transactions are
+      explicit ``BEGIN IMMEDIATE`` blocks, so a write transaction takes
+      the write lock up front and cannot deadlock upgrading a read lock.
+    """
+    db = sqlite3.connect(
+        path,
+        timeout=timeout_s,
+        check_same_thread=False,
+        isolation_level=None,
+    )
+    db.execute(f"PRAGMA busy_timeout = {int(timeout_s * 1000)}")
+    # raises sqlite3.DatabaseError on a file that is not sqlite at all —
+    # the caller's "not a usable ledger" path
+    db.execute("PRAGMA journal_mode=WAL")
+    db.execute("PRAGMA synchronous=NORMAL")
+    return db
 
 
 class LedgerError(Exception):
@@ -147,19 +197,40 @@ class RunLedger:
     ...     ledger.record_app(run_id, app, status="ok", ...)
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, timeout_s: float = LEDGER_BUSY_TIMEOUT_S) -> None:
         self.path = path
+        # one connection, many threads: sqlite connections are not
+        # internally thread-safe, so every use goes through this lock
+        # (reentrant — record_analysis calls record_app)
+        self._lock = threading.RLock()
         try:
-            self._db = sqlite3.connect(path)
+            self._db = connect_ledger(path, timeout_s)
             self._db.executescript(_TABLES)
-            self._db.commit()
         except sqlite3.DatabaseError as exc:
             raise LedgerError(f"{path}: not a usable run ledger ({exc})") from exc
         self._db.row_factory = sqlite3.Row
 
+    @contextmanager
+    def _write_txn(self):
+        """One explicit write transaction: serialized against this
+        process's threads by the lock, against other processes by
+        ``BEGIN IMMEDIATE`` + the busy timeout. Rows of one append land
+        together or not at all — a concurrent reader never sees an app
+        row whose race rows are still in flight."""
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._db
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+            else:
+                self._db.execute("COMMIT")
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        self._db.close()
+        with self._lock:
+            self._db.close()
 
     def __enter__(self) -> "RunLedger":
         return self
@@ -178,20 +249,20 @@ class RunLedger:
         """Append a run row; returns the (possibly minted) run id."""
         run_id = run_id or new_run_id()
         try:
-            self._db.execute(
-                "INSERT INTO runs (run_id, ts_utc, kind, schema, options_digest,"
-                " options_json, meta_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    run_id,
-                    datetime.now(timezone.utc).isoformat(timespec="seconds"),
-                    kind,
-                    LEDGER_SCHEMA,
-                    options_digest(options),
-                    json.dumps(options, sort_keys=True, default=repr),
-                    json.dumps(meta or {}, sort_keys=True),
-                ),
-            )
-            self._db.commit()
+            with self._write_txn() as db:
+                db.execute(
+                    "INSERT INTO runs (run_id, ts_utc, kind, schema, options_digest,"
+                    " options_json, meta_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                        kind,
+                        LEDGER_SCHEMA,
+                        options_digest(options),
+                        json.dumps(options, sort_keys=True, default=repr),
+                        json.dumps(meta or {}, sort_keys=True),
+                    ),
+                )
         except sqlite3.DatabaseError as exc:
             raise LedgerError(f"{self.path}: cannot append run ({exc})") from exc
         return run_id
@@ -208,39 +279,39 @@ class RunLedger:
     ) -> None:
         """Append one app's outcome (stages, metrics scrape, race rows)."""
         try:
-            self._db.execute(
-                "INSERT INTO app_runs (run_id, app, status, elapsed_s,"
-                " stages_json, metrics_json, race_count)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    run_id,
-                    app,
-                    status,
-                    float(elapsed_s),
-                    json.dumps(stages or {}, sort_keys=True),
-                    json.dumps(metrics or {}, sort_keys=True),
-                    len(races),
-                ),
-            )
-            for race in races:
-                self._db.execute(
-                    "INSERT OR REPLACE INTO races (run_id, app, fingerprint, rank,"
-                    " field, kind, tier, priority, verdict, report_json)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            with self._write_txn() as db:
+                db.execute(
+                    "INSERT INTO app_runs (run_id, app, status, elapsed_s,"
+                    " stages_json, metrics_json, race_count)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)",
                     (
                         run_id,
                         app,
-                        str(race["fingerprint"]),
-                        int(race["rank"]),
-                        str(race["field"]),
-                        str(race["kind"]),
-                        str(race["tier"]),
-                        int(race["priority"]),
-                        str(race["verdict"]),
-                        json.dumps(race.get("report", {}), sort_keys=True),
+                        status,
+                        float(elapsed_s),
+                        json.dumps(stages or {}, sort_keys=True),
+                        json.dumps(metrics or {}, sort_keys=True),
+                        len(races),
                     ),
                 )
-            self._db.commit()
+                for race in races:
+                    db.execute(
+                        "INSERT OR REPLACE INTO races (run_id, app, fingerprint,"
+                        " rank, field, kind, tier, priority, verdict, report_json)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            run_id,
+                            app,
+                            str(race["fingerprint"]),
+                            int(race["rank"]),
+                            str(race["field"]),
+                            str(race["kind"]),
+                            str(race["tier"]),
+                            int(race["priority"]),
+                            str(race["verdict"]),
+                            json.dumps(race.get("report", {}), sort_keys=True),
+                        ),
+                    )
         except sqlite3.DatabaseError as exc:
             raise LedgerError(f"{self.path}: cannot append app row ({exc})") from exc
 
@@ -268,7 +339,8 @@ class RunLedger:
     # -- reading -------------------------------------------------------
     def _query(self, sql: str, args: Sequence[object] = ()) -> List[sqlite3.Row]:
         try:
-            return self._db.execute(sql, tuple(args)).fetchall()
+            with self._lock:
+                return self._db.execute(sql, tuple(args)).fetchall()
         except sqlite3.DatabaseError as exc:
             raise LedgerError(f"{self.path}: malformed ledger ({exc})") from exc
 

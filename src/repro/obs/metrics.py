@@ -25,6 +25,7 @@ current metric inventory.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -273,6 +274,16 @@ class MetricsRegistry:
 
 
 _default_registry = MetricsRegistry()
+
+# fork safety: a multithreaded parent (the serve daemon's worker pool, a
+# threaded embedder) may fork an analysis child while another thread holds
+# the registry lock — the child would inherit the lock *held forever* and
+# deadlock on its first metric registration. Give the child a fresh lock;
+# its registry contents are a private copy anyway (fork semantics).
+if hasattr(os, "register_at_fork"):  # pragma: no branch — POSIX containers
+    os.register_at_fork(
+        after_in_child=lambda: setattr(_default_registry, "_lock", threading.Lock())
+    )
 
 
 def registry() -> MetricsRegistry:

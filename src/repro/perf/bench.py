@@ -330,6 +330,130 @@ def run_warm_bench(
 
 
 # ----------------------------------------------------------------------
+# serve bench (daemon throughput + serve/CLI equivalence)
+# ----------------------------------------------------------------------
+def run_serve_bench(
+    apps: Sequence[str],
+    workers: int = 2,
+    concurrency: int = 4,
+    history: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Bench the ``repro serve`` daemon and prove it result-equivalent.
+
+    Two phases over one ledger file:
+
+    1. **one-shot baseline** — every app runs through the pipeline the way
+       ``repro analyze --history`` does, recorded as one ``analyze`` run
+       per app;
+    2. **serve load run** — an in-process :class:`ServeDaemon` (ephemeral
+       port, ``workers`` forked workers) takes the same apps from
+       ``concurrency`` client threads via the corpus driver's
+       ``--target-url`` load generator, which yields the throughput
+       (apps/sec) and client-observed latency percentiles (p50/p99).
+
+    Each app's serve run is then machine-diffed against its one-shot run
+    (:func:`repro.obs.diffing.diff_runs`): the daemon is only a faster
+    front end if race fingerprints and refutation verdicts are
+    *identical*, so any divergence marks the block non-equivalent
+    (``repro bench --serve`` and ``benchmarks/run_bench.py --serve``
+    exit 2 on that).
+    """
+    import dataclasses
+    import os
+    import tempfile
+
+    from repro.corpus.driver import run_corpus_remote
+    from repro.obs.diffing import diff_runs
+    from repro.obs.history import KIND_ANALYZE, RunLedger
+    from repro.serve import ServeDaemon
+
+    ledger_path = history or os.path.join(
+        tempfile.mkdtemp(prefix="repro-serve-bench-"), "serve_bench.sqlite"
+    )
+    options = SierraOptions(cache_dir=cache_dir)
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # phase 1: the CLI one-shot baseline, one analyze run per app (the
+    # same granularity serve jobs record at, so diff_runs compares 1:1)
+    oneshot_runs: Dict[str, str] = {}
+    with RunLedger(ledger_path) as ledger:
+        for name in apps:
+            record, result = _bench_app_result(name, options)
+            run_id = ledger.begin_run(
+                KIND_ANALYZE,
+                dataclasses.asdict(options),
+                meta={"app": name, "bench_serve_pass": "oneshot"},
+            )
+            ledger.record_analysis(
+                run_id, name, result, elapsed_s=record["stages"]["total"]
+            )
+            oneshot_runs[name] = run_id
+
+    # phase 2: the daemon under load
+    with ServeDaemon(
+        ledger_path,
+        options=options,
+        workers=workers,
+        port=0,
+        job_timeout_s=job_timeout_s,
+    ) as daemon:
+        load = run_corpus_remote(
+            apps=apps,
+            target_url=daemon.url,
+            concurrency=concurrency,
+            timeout_s=job_timeout_s,
+        )
+        isolated = daemon.pool.isolated
+
+    summary = load.summary()
+    app_records: Dict[str, Dict[str, object]] = {}
+    divergent: List[str] = []
+    with RunLedger(ledger_path) as ledger:
+        for record in load.records:
+            entry: Dict[str, object] = {
+                "job_status": record.status,
+                "latency_s": round(record.latency_s, 4),
+                "oneshot_run": oneshot_runs.get(record.app),
+                "serve_run": record.run_id,
+            }
+            if record.status != "done" or not record.run_id:
+                divergent.append(f"{record.app}: job {record.status}")
+            else:
+                diff = diff_runs(
+                    ledger, oneshot_runs[record.app], record.run_id
+                )
+                entry["equivalent"] = not (
+                    diff.new_races or diff.fixed_races or diff.verdict_flips
+                )
+                if not entry["equivalent"]:
+                    divergent.append(
+                        f"{record.app}: {len(diff.new_races)} new, "
+                        f"{len(diff.fixed_races)} fixed, "
+                        f"{len(diff.verdict_flips)} flips"
+                    )
+            app_records[record.app] = entry
+
+    return {
+        "ledger": ledger_path,
+        "workers": workers,
+        "concurrency": load.concurrency,
+        "isolated": isolated,
+        "elapsed_s": summary["elapsed_s"],
+        "apps_per_s": summary["apps_per_s"],
+        "latency_p50_s": summary["latency_p50_s"],
+        "latency_p99_s": summary["latency_p99_s"],
+        "apps": app_records,
+        "equivalence": {
+            "identical": not divergent,
+            "divergences": "; ".join(divergent),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # driver + regression gate
 # ----------------------------------------------------------------------
 def run_bench(
@@ -340,6 +464,9 @@ def run_bench(
     history: Optional[str] = None,
     cache_dir: Optional[str] = None,
     warm: bool = False,
+    serve: bool = False,
+    serve_workers: int = 2,
+    serve_concurrency: int = 4,
 ) -> Dict[str, object]:
     """Run the full bench suite; write and return the BENCH record.
 
@@ -353,6 +480,11 @@ def run_bench(
     :func:`run_warm_bench` and attaches its record under ``"warm"``. The
     per-app numbers under ``"apps"`` are the warm suite's *cold* pass, so
     the written file stays a valid cold baseline for the regression gate.
+
+    ``serve=True`` additionally runs :func:`run_serve_bench` — an
+    in-process daemon under load — and attaches throughput (apps/sec),
+    client latency percentiles (p50/p99) and the serve/CLI equivalence
+    verdict under ``"serve"``.
     """
     if warm and not cache_dir:
         raise ValueError("warm bench requires a cache directory")
@@ -394,6 +526,13 @@ def run_bench(
             options = SierraOptions(parallelism=parallelism, cache_dir=cache_dir)
             data["cache_dir"] = cache_dir
         data["apps"] = {name: bench_app(name, options) for name in apps}
+    if serve:
+        data["serve"] = run_serve_bench(
+            apps,
+            workers=serve_workers,
+            concurrency=serve_concurrency,
+            cache_dir=cache_dir,
+        )
     if ledger is not None:
         try:
             run_id = ledger.begin_run(

@@ -1,0 +1,321 @@
+"""``repro serve``: the analysis-as-a-service HTTP daemon.
+
+Stdlib only — a :class:`http.server.ThreadingHTTPServer` front end over
+the job store and worker pool, with the run-history ledger as the one
+durable backing file. Layering follows the routes / engine / metrics
+split: this module is *routes only* — request parsing, status codes,
+JSON shaping; the engine is the worker pool calling the detector as a
+library; metrics live in the :mod:`repro.obs.metrics` registry.
+
+Endpoints (all JSON unless noted):
+
+======================  ====================================================
+``POST /v1/jobs``       submit ``{"app": ..., "options": {...}}`` → 202 + job
+``GET /v1/jobs``        recent jobs (``?status=queued|running|done|failed``)
+``GET /v1/jobs/<id>``   one job (poll this until ``status`` is terminal)
+``GET /v1/runs/<ref>/report``  the race report of one ledger run
+``GET /v1/diff/<a>/<b>``       differential analysis between two runs
+``GET /dashboard``      the self-contained HTML dashboard (text/html)
+``GET /metrics``        the server's metrics-registry scrape
+``GET /healthz``        liveness + queue depths
+======================  ====================================================
+
+Error mapping: unknown app or bad options → 400, unknown job/run → 404,
+malformed ledger → 500 — a corrupt backing store must be loud, never an
+empty 200.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.core import SierraOptions
+from repro.obs import metrics
+from repro.obs.history import LedgerError, RunLedger
+from repro.serve.jobs import DONE, FAILED, QUEUED, RUNNING, JobStore
+from repro.serve.workers import LATENCY_BUCKETS, WorkerPool, merge_job_options
+
+#: default bind — loopback; a deployment fronting real traffic puts a
+#: reverse proxy here, the daemon itself does no TLS or auth
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+#: client-side default resolution (``repro submit`` et al.)
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request. ``self.server`` is the :class:`_Server` (daemon ref)."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.daemon  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # the metrics registry is the access log; stderr stays quiet
+
+    def _send_json(self, code: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, code: int, html: str) -> None:
+        body = html.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self.daemon._m_errors.inc()
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8") or "{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- dispatch ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._timed(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._timed(self._route_post)
+
+    def _timed(self, route) -> None:
+        self.daemon._m_requests.inc()
+        import time
+
+        t0 = time.perf_counter()
+        try:
+            route()
+        except BrokenPipeError:
+            pass  # client hung up mid-response; nothing to answer
+        except LedgerError as exc:
+            self._error(500, f"ledger: {exc}")
+        except Exception as exc:  # noqa: BLE001 — one request, not the daemon
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.daemon._m_request_seconds.observe(time.perf_counter() - t0)
+
+    def _route_get(self) -> None:
+        url = urlparse(self.path)
+        parts = [unquote(p) for p in url.path.split("/") if p]
+        if parts == ["healthz"]:
+            return self._get_health()
+        if parts == ["metrics"]:
+            return self._send_json(200, metrics.registry().collect())
+        if parts == ["dashboard"]:
+            from repro.obs.dashboard import render_dashboard
+
+            return self._send_html(
+                200, render_dashboard(self.daemon.ledger, title="repro serve")
+            )
+        if parts == ["v1", "jobs"]:
+            status = (parse_qs(url.query).get("status") or [None])[0]
+            if status is not None and status not in (QUEUED, RUNNING, DONE, FAILED):
+                return self._error(400, f"unknown status filter {status!r}")
+            jobs = self.daemon.store.jobs(status=status)
+            return self._send_json(200, {"jobs": [j.to_dict() for j in jobs]})
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.daemon.store.get(parts[2])
+            if job is None:
+                return self._error(404, f"unknown job {parts[2]!r}")
+            return self._send_json(200, job.to_dict())
+        if len(parts) == 4 and parts[:2] == ["v1", "runs"] and parts[3] == "report":
+            return self._get_report(parts[2])
+        if len(parts) == 4 and parts[:2] == ["v1", "diff"]:
+            return self._get_diff(parts[2], parts[3])
+        return self._error(404, f"no route for GET {url.path}")
+
+    def _route_post(self) -> None:
+        parts = [unquote(p) for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["v1", "jobs"]:
+            return self._post_job()
+        return self._error(404, f"no route for POST {self.path}")
+
+    # -- handlers ------------------------------------------------------
+    def _get_health(self) -> None:
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "workers": self.daemon.pool.workers,
+                "isolated": self.daemon.pool.isolated,
+                "jobs": self.daemon.store.counts(),
+                "history": self.daemon.history,
+            },
+        )
+
+    def _post_job(self) -> None:
+        from repro.cli import is_known_app
+
+        try:
+            body = self._read_body()
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._error(400, f"bad request body: {exc}")
+        app = body.get("app")
+        options = body.get("options") or {}
+        if not isinstance(app, str) or not app:
+            return self._error(400, "missing required field 'app'")
+        if not isinstance(options, dict):
+            return self._error(400, "'options' must be a JSON object")
+        if not is_known_app(app):
+            return self._error(400, f"unknown app {app!r}")
+        try:
+            # validate the overrides up front: a bad submission must fail
+            # the submitter, not the worker that claims it later
+            merge_job_options(self.daemon.pool.options, options)
+        except (ValueError, TypeError) as exc:
+            return self._error(400, str(exc))
+        job = self.daemon.store.submit(app, options)
+        self.daemon.pool.kick()
+        self.daemon._m_submitted.inc()
+        payload = job.to_dict()
+        payload["poll"] = f"/v1/jobs/{job.job_id}"
+        self._send_json(202, payload)
+
+    def _get_report(self, ref: str) -> None:
+        ledger = self.daemon.ledger
+        try:
+            run = ledger.resolve(ref)
+        except LedgerError as exc:
+            return self._error(404, str(exc))
+        run_id = str(run["run_id"])
+        self._send_json(
+            200,
+            {
+                "run_id": run_id,
+                "kind": run["kind"],
+                "ts_utc": run["ts_utc"],
+                "options": run["options"],
+                "meta": run["meta"],
+                "apps": ledger.app_runs(run_id),
+                "races": ledger.races(run_id, with_reports=True),
+            },
+        )
+
+    def _get_diff(self, ref_a: str, ref_b: str) -> None:
+        from repro.obs.diffing import diff_runs
+
+        try:
+            diff = diff_runs(self.daemon.ledger, ref_a, ref_b)
+        except LedgerError as exc:
+            return self._error(404, str(exc))
+        self._send_json(200, diff.to_dict())
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], daemon: "ServeDaemon") -> None:
+        super().__init__(address, _Handler)
+        self.daemon = daemon
+
+
+class ServeDaemon:
+    """The assembled service: job store + worker pool + HTTP front end.
+
+    >>> daemon = ServeDaemon("runs.sqlite", workers=4)
+    >>> daemon.start()          # binds, recovers orphaned jobs, spawns pool
+    >>> daemon.url
+    'http://127.0.0.1:8787'
+    >>> daemon.stop()
+
+    ``port=0`` binds an ephemeral port (tests, embedded load generators);
+    read the real one back from :attr:`url`.
+    """
+
+    def __init__(
+        self,
+        history: str,
+        options: Optional[SierraOptions] = None,
+        workers: int = 2,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        job_timeout_s: float = 120.0,
+        isolate: bool = True,
+    ) -> None:
+        self.history = history
+        self.store = JobStore(history)
+        self.ledger = RunLedger(history)
+        self.pool = WorkerPool(
+            self.store,
+            self.ledger,
+            options=options,
+            workers=workers,
+            job_timeout_s=job_timeout_s,
+            isolate=isolate,
+        )
+        self._address = (host, port)
+        self._httpd: Optional[_Server] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self.recovered_jobs = 0
+        # request instruments, bound once (see WorkerPool on fork safety)
+        self._m_requests = metrics.counter(
+            "serve.requests_total", "HTTP requests handled"
+        )
+        self._m_errors = metrics.counter(
+            "serve.errors_total", "HTTP error responses"
+        )
+        self._m_submitted = metrics.counter(
+            "serve.jobs_submitted", "jobs accepted via POST /v1/jobs"
+        )
+        self._m_request_seconds = metrics.histogram(
+            "serve.request_seconds", "per-request latency", buckets=LATENCY_BUCKETS
+        )
+
+    @property
+    def url(self) -> str:
+        if self._httpd is None:
+            raise RuntimeError("daemon not started")
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Bind, requeue orphaned jobs, start workers and the HTTP thread."""
+        self.recovered_jobs = self.store.recover()
+        self._httpd = _Server(self._address, self)
+        self.pool.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name="repro-serve-http",
+        )
+        self._http_thread.start()
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self.pool.stop()
+        self.ledger.close()
+        self.store.close()
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

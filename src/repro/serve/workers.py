@@ -1,0 +1,228 @@
+"""The serve daemon's persistent worker pool.
+
+N worker threads share one :class:`~repro.serve.jobs.JobStore` and one
+:class:`~repro.obs.history.RunLedger` (both thread-safe). Each thread
+loops: claim the oldest queued job, run the detector, append the result
+to the ledger as one ``serve`` run, mark the job ``done``/``failed``.
+
+The detector runs as a **library inside a forked child per job** —
+exactly the corpus driver's isolation path
+(:func:`repro.corpus.driver._run_one_isolated`), reused here so a job
+that crashes the analysis, hangs past the budget, or corrupts its own
+heap takes down one fork, not the daemon: the worker thread survives,
+records the failure on the job, and claims the next one. Forking also
+gives every job a private metrics registry (scrape windows cannot
+interleave across concurrent jobs) while the **on-disk substrate cache
+is shared**, so a re-submitted app warm-starts from the previous job's
+substrate bundle (``pointsto.worklist_iterations == 0``).
+
+Platforms without ``fork`` degrade to in-process execution under a pool-
+wide lock: results stay exact, concurrency and enforced timeouts are
+lost, and the daemon says so at startup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.core import SierraOptions
+from repro.obs import metrics
+from repro.obs.history import KIND_SERVE, LedgerError, RunLedger
+from repro.serve.jobs import DONE, FAILED, Job, JobStore
+
+#: job-option keys a client may send: the analysis knobs of
+#: :class:`SierraOptions` (the server owns cache_dir — a client must not
+#: point workers at an arbitrary filesystem path) plus the fault-
+#: injection testing aids the corpus driver also exposes
+ANALYSIS_JOB_OPTIONS = frozenset(
+    f.name for f in dataclasses.fields(SierraOptions)
+) - {"cache_dir"}
+INJECT_JOB_OPTIONS = frozenset({"inject_fail", "inject_hang"})
+ALLOWED_JOB_OPTIONS = ANALYSIS_JOB_OPTIONS | INJECT_JOB_OPTIONS
+
+#: statuses of the per-job analysis record that still count as a served
+#: result (degraded = exact results, lost parallelism — same contract as
+#: the corpus driver)
+_SERVED_STATUSES = ("ok", "degraded")
+
+#: request/job latency buckets, in seconds
+LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120)
+
+
+def merge_job_options(
+    base: SierraOptions, job_options: Dict[str, object]
+) -> Dict[str, object]:
+    """The daemon's default options overlaid with one job's overrides,
+    as the plain dict the forked analysis child takes. Unknown keys
+    raise ``ValueError`` (the server maps that to HTTP 400 at submit
+    time; here it guards jobs enqueued by other writers)."""
+    unknown = set(job_options) - ALLOWED_JOB_OPTIONS
+    if unknown:
+        raise ValueError(
+            "unknown job option(s): " + ", ".join(sorted(repr(k) for k in unknown))
+        )
+    options_dict = dataclasses.asdict(base)
+    for key, value in job_options.items():
+        if key in ANALYSIS_JOB_OPTIONS:
+            options_dict[key] = value
+    return options_dict
+
+
+class WorkerPool:
+    """N daemon threads draining the job store (start/stop lifecycle)."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        ledger: RunLedger,
+        options: Optional[SierraOptions] = None,
+        workers: int = 2,
+        job_timeout_s: float = 120.0,
+        isolate: bool = True,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"worker pool needs >= 1 worker, got {workers}")
+        self.store = store
+        self.ledger = ledger
+        self.options = options or SierraOptions()
+        self.workers = workers
+        self.job_timeout_s = job_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        # in-process fallback when fork is unavailable: one job at a time
+        # (the metrics registry is process-global; interleaved scrape
+        # windows would corrupt each other's counters)
+        self._inline_lock = threading.Lock()
+        self._mp_context = None
+        if isolate:
+            try:
+                self._mp_context = multiprocessing.get_context("fork")
+            except ValueError:
+                pass
+        # instruments are created once, here: the hot paths below only
+        # touch pre-bound objects, so no thread holds the registry lock
+        # at an inopportune fork moment
+        self._jobs_done = metrics.counter(
+            "serve.jobs_completed", "serve jobs finished done"
+        )
+        self._jobs_failed = metrics.counter(
+            "serve.jobs_failed", "serve jobs finished failed"
+        )
+        self._job_seconds = metrics.histogram(
+            "serve.job_seconds", "per-job wall clock", buckets=LATENCY_BUCKETS
+        )
+
+    @property
+    def isolated(self) -> bool:
+        return self._mp_context is not None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, args=(f"worker-{i}",), daemon=True,
+                name=f"repro-serve-{i}",
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        self._stop.set()
+        self._wake.set()
+        for thread in self._threads:
+            thread.join(timeout_s)
+        self._threads = []
+
+    def kick(self) -> None:
+        """Wake sleeping workers (called on every submission)."""
+        self._wake.set()
+
+    # -- the loop ------------------------------------------------------
+    def _loop(self, worker_name: str) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.store.claim(worker_name)
+            except LedgerError:
+                # the store went away under us (daemon shutting down,
+                # ledger file unlinked) — nothing sane left to do here
+                return
+            if job is None:
+                self._wake.wait(self.poll_interval_s)
+                self._wake.clear()
+                continue
+            try:
+                self._run_job(job, worker_name)
+            except Exception as exc:  # noqa: BLE001 — the thread must survive
+                try:
+                    self.store.finish(
+                        job.job_id,
+                        FAILED,
+                        error={"type": type(exc).__name__, "message": str(exc)},
+                    )
+                except LedgerError:
+                    pass
+                self._jobs_failed.inc()
+
+    def _run_job(self, job: Job, worker_name: str) -> None:
+        from repro.corpus.driver import _run_one_inline, _run_one_isolated
+
+        options_dict = merge_job_options(self.options, job.options)
+        inject_fail = bool(job.options.get("inject_fail"))
+        inject_hang_s = (
+            self.job_timeout_s + 30.0 if job.options.get("inject_hang") else 0.0
+        )
+        t0 = time.perf_counter()
+        if self._mp_context is not None:
+            record = _run_one_isolated(
+                self._mp_context,
+                job.app,
+                options_dict,
+                self.job_timeout_s,
+                inject_fail,
+                inject_hang_s,
+            )
+        else:
+            with self._inline_lock:
+                record = _run_one_inline(
+                    job.app, options_dict, inject_fail, inject_hang_s
+                )
+        elapsed = time.perf_counter() - t0
+
+        # one ledger run per job: the same row shape `repro analyze
+        # --history` writes, so `repro diff <oneshot> <serve-job>` proves
+        # (or refutes) serve/CLI equivalence with no special casing
+        run_id = self.ledger.begin_run(
+            KIND_SERVE,
+            options_dict,
+            meta={"app": job.app, "job_id": job.job_id, "worker": worker_name},
+        )
+        self.ledger.record_app(
+            run_id,
+            job.app,
+            status=record.status,
+            elapsed_s=record.elapsed_s,
+            stages=record.stages,
+            metrics=record.metrics,
+            races=record.races,
+        )
+        if record.status in _SERVED_STATUSES:
+            self.store.finish(job.job_id, DONE, run_id=run_id, elapsed_s=elapsed)
+            self._jobs_done.inc()
+        else:
+            self.store.finish(
+                job.job_id,
+                FAILED,
+                run_id=run_id,
+                error=record.error
+                or {"type": "AnalysisFailed", "message": record.status},
+                elapsed_s=elapsed,
+            )
+            self._jobs_failed.inc()
+        self._job_seconds.observe(elapsed)

@@ -141,6 +141,51 @@ class TestStatsAndGc:
         store.put("verdict", "a" * 48, 1)
         assert store.gc()["removed"] == 0
 
+    def test_gc_lru_ties_break_by_insertion_order(self, tmp_path, monkeypatch):
+        """Same last-used timestamp: the earliest-inserted entry goes first.
+
+        Wall-clock timestamps have coarse resolution, so entries written in
+        one burst tie on ``last_used``; without the monotonic sequence
+        tie-breaker the eviction order depended on filesystem listing order
+        and differed run to run.
+        """
+        import repro.cache.store as store_mod
+
+        monkeypatch.setattr(store_mod.time, "time", lambda: 1_000_000.0)
+        store = SubstrateStore(str(tmp_path / "cache"))
+        try:
+            for key_char in ("a", "b", "c"):
+                store.put("verdict", key_char * 48, key_char)
+            budget = (store.stats()["bytes"] // 3) * 2 + 1  # room for two
+            result = store.gc(max_bytes=budget)
+            assert result["removed"] == 1
+            assert store.get("verdict", "a" * 48) is None  # oldest insert
+            assert store.get("verdict", "b" * 48) == "b"
+            assert store.get("verdict", "c" * 48) == "c"
+        finally:
+            store.close()
+
+    def test_gc_seq_survives_reopen(self, tmp_path, monkeypatch):
+        """The sequence counter persists: entries from a previous process
+        still order before a reopened store's new ones on tied timestamps."""
+        import repro.cache.store as store_mod
+
+        monkeypatch.setattr(store_mod.time, "time", lambda: 1_000_000.0)
+        root = str(tmp_path / "cache")
+        store = SubstrateStore(root)
+        store.put("verdict", "a" * 48, "a")
+        store.close()
+        store = SubstrateStore(root)
+        try:
+            store.put("verdict", "b" * 48, "b")
+            store.put("verdict", "c" * 48, "c")
+            budget = (store.stats()["bytes"] // 3) * 2 + 1
+            assert store.gc(max_bytes=budget)["removed"] == 1
+            assert store.get("verdict", "a" * 48) is None
+            assert store.get("verdict", "b" * 48) == "b"
+        finally:
+            store.close()
+
     def test_metadata_db_unusable_degrades(self, tmp_path):
         """A broken sqlite sidecar must never break the object store."""
         root = tmp_path / "cache"

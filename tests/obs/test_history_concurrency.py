@@ -1,0 +1,129 @@
+"""Concurrent writers against one ledger file.
+
+These tests pin the concurrency contract of
+:func:`repro.obs.history.connect_ledger` — WAL journal, busy timeout,
+cross-thread connections, explicit write transactions. Each fails
+against the pre-hardening ledger (default-journal, ``check_same_thread``
+connections, autocommit writes): shared-connection threads raised
+``sqlite3.ProgrammingError`` and multi-process writers lost inserts to
+``database is locked``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.obs.history import KIND_ANALYZE, RunLedger, connect_ledger
+
+
+def test_ledger_connection_is_wal_with_busy_timeout(tmp_path):
+    path = str(tmp_path / "ledger.sqlite")
+    with RunLedger(path) as ledger:
+        db = ledger._db
+        assert db.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert int(db.execute("PRAGMA busy_timeout").fetchone()[0]) >= 4000
+
+
+def test_one_ledger_shared_across_threads(tmp_path):
+    """Pre-fix: sqlite3.ProgrammingError (connection bound to its creating
+    thread). Post-fix: the internal lock serializes all 40 writes."""
+    path = str(tmp_path / "ledger.sqlite")
+    errors = []
+    with RunLedger(path) as ledger:
+        def writer(i):
+            try:
+                for j in range(10):
+                    run_id = ledger.begin_run(
+                        KIND_ANALYZE, {"k": i}, meta={"writer": i, "j": j}
+                    )
+                    ledger.record_app(run_id, f"app-{i}", status="ok")
+            except Exception as exc:  # noqa: BLE001 — collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        assert len(ledger.runs()) == 40
+
+
+def _hammer(path, writer_id, runs_per_writer, out_queue):
+    try:
+        with RunLedger(path) as ledger:
+            for j in range(runs_per_writer):
+                run_id = ledger.begin_run(
+                    KIND_ANALYZE,
+                    {"writer": writer_id},
+                    meta={"j": j},
+                )
+                ledger.record_app(
+                    run_id, f"app-{writer_id}-{j}", status="ok", elapsed_s=0.0
+                )
+        out_queue.put(("ok", writer_id))
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        out_queue.put(("error", f"{writer_id}: {type(exc).__name__}: {exc}"))
+
+
+def test_multiprocess_concurrent_writers_lose_nothing(tmp_path):
+    """The stress test: 4 processes x 12 runs against one ledger file.
+
+    Without WAL + busy timeout + BEGIN IMMEDIATE, contending writers die
+    with ``database is locked`` and runs go missing; with them, every
+    run and app row lands.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        pytest.skip("fork start method unavailable")
+    path = str(tmp_path / "ledger.sqlite")
+    RunLedger(path).close()  # create the schema once, like a daemon would
+    writers, runs_per_writer = 4, 12
+    out_queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_hammer, args=(path, i, runs_per_writer, out_queue))
+        for i in range(writers)
+    ]
+    for p in procs:
+        p.start()
+    results = [out_queue.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(30)
+    failures = [detail for kind, detail in results if kind != "ok"]
+    assert not failures, failures
+    with RunLedger(path) as ledger:
+        runs = ledger.runs()
+        assert len(runs) == writers * runs_per_writer
+        apps = {
+            app
+            for run in runs
+            for app in ledger.app_runs(str(run["run_id"]))
+        }
+        assert len(apps) == writers * runs_per_writer
+
+
+def test_writes_are_transactional_on_failure(tmp_path):
+    """A failing write rolls back instead of leaving half a run behind."""
+    path = str(tmp_path / "ledger.sqlite")
+    with RunLedger(path) as ledger:
+        run_id = ledger.begin_run(KIND_ANALYZE, {}, meta={})
+        ledger.record_app(run_id, "app", status="ok")
+        with pytest.raises(Exception):
+            # PRIMARY KEY (run_id, app) violation mid-transaction
+            ledger.record_app(run_id, "app", status="ok")
+        assert len(ledger.runs()) == 1
+        assert list(ledger.app_runs(run_id)) == ["app"]
+
+
+def test_connect_ledger_rejects_non_database(tmp_path):
+    import sqlite3
+
+    path = tmp_path / "not-a-db"
+    path.write_text("just text\n")
+    with pytest.raises(sqlite3.DatabaseError):
+        db = connect_ledger(str(path))
+        db.execute("SELECT 1 FROM sqlite_master")

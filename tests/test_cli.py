@@ -87,6 +87,62 @@ class TestCorpusCommand:
         assert "fdroid:0 .. fdroid:173" in out
 
 
+class TestBrokenPipe:
+    """``repro ... | head`` must exit 141 with no traceback, even when the
+    consumer took stderr down with the same pipe. Run in a subprocess: the
+    handler redirects the real file descriptors 1/2, which would wreck
+    pytest's capture in-process."""
+
+    def test_exit_code_and_silent_teardown(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        from repro.cli import SIGPIPE_EXIT
+
+        result_file = tmp_path / "rc"
+        script = textwrap.dedent(
+            f"""
+            import os
+            import repro.cli as cli
+
+            def boom(args):
+                raise BrokenPipeError()
+            cli.cmd_corpus = boom
+
+            # both stdout and stderr land on a pipe whose read end is gone
+            r, w = os.pipe()
+            os.close(r)
+            os.dup2(w, 1)
+            os.dup2(w, 2)
+            os.close(w)
+            rc = cli.main(["corpus"])
+            with open({str(result_file)!r}, "w") as fh:
+                fh.write(str(rc))
+            # interpreter exit flushes sys.stdout/stderr; after
+            # _silence_broken_pipes() that must be harmless
+            print("late write into the dead pipe")
+            """
+        )
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": os.path.join(repo_root, "src")},
+            cwd=repo_root,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        assert SIGPIPE_EXIT == 141
+        assert result_file.read_text() == "141"
+
+    def test_parser_still_works_without_pipe_damage(self, capsys):
+        # the handler only fires on BrokenPipeError; normal paths untouched
+        assert main(["corpus"]) == 0
+        assert "quickstart" in capsys.readouterr().out
+
+
 class TestJsonOutput:
     def test_json_roundtrip(self, capsys):
         import json
