@@ -439,6 +439,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.history import LedgerError
     from repro.serve import DEFAULT_HOST, DEFAULT_PORT
 
+    slo_overrides = {}
+    for pair in args.slo or ():
+        key, sep, value = pair.partition("=")
+        if not sep:
+            print(f"serve: --slo takes KEY=VALUE, got {pair!r}", file=sys.stderr)
+            return 2
+        try:
+            slo_overrides[key] = float(value)
+        except ValueError:
+            print(f"serve: --slo value must be a number, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+
     try:
         daemon = ServeDaemon(
             history,
@@ -448,8 +461,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=DEFAULT_PORT if args.port is None else args.port,
             job_timeout_s=args.job_timeout,
             isolate=not args.no_isolation,
+            sample_interval_s=args.sample_interval,
+            slo=slo_overrides or None,
         )
         daemon.start()
+    except ValueError as exc:
+        # bad --slo objective/field name, bad sample interval
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     except (LedgerError, ServeError, OSError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -709,9 +728,19 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs.dashboard import ledger_jobs
+
     try:
         with RunLedger(history) as ledger:
-            write_dashboard(ledger, args.out, title=args.title)
+            # serve-aware when the ledger doubles as a job store: embed
+            # the jobs table and any SLO alert history alongside the runs
+            write_dashboard(
+                ledger,
+                args.out,
+                title=args.title,
+                jobs=ledger_jobs(ledger),
+                alerts=ledger.alerts(limit=200),
+            )
     except LedgerError as exc:
         print(f"dashboard: {exc}", file=sys.stderr)
         return 2
@@ -808,6 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SIERRA reproduction: static event-based race detection",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error", "off"),
+                        help="emit the structured event log to stderr at this "
+                        "level (default: $REPRO_LOG_LEVEL when set, else off)")
+    parser.add_argument("--log-json", action="store_true", default=None,
+                        help="format the event log as JSON lines (default: "
+                        "$REPRO_LOG_JSON when set, else human-readable text)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_analysis_flags(p):
@@ -1012,6 +1048,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-isolation", action="store_true",
                        help="run jobs in-process (no worker fork, timeouts "
                        "not enforced; for debugging)")
+    serve.add_argument("--sample-interval", type=float, default=1.0,
+                       help="telemetry ring-buffer sampling interval in "
+                       "seconds (default 1.0)")
+    serve.add_argument("--slo", action="append", metavar="KEY=VALUE",
+                       help="SLO override (repeatable): KEY is an objective "
+                       "name to set its threshold (p99_job_latency, "
+                       "queue_wait, failure_ratio, worker_stall) or "
+                       "objective.field for window_s / burn_threshold / "
+                       "min_samples / min_events, e.g. --slo queue_wait=30 "
+                       "--slo failure_ratio.window_s=120")
     add_analysis_flags(serve)
     add_history_flag(serve)
     serve.set_defaults(func=cmd_serve)
@@ -1089,6 +1135,7 @@ def _silence_broken_pipes() -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.log.configure(level=args.log_level, json_mode=args.log_json)
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -26,6 +26,7 @@ has never been tested.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import os
 import platform
@@ -36,6 +37,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.obs import log as obs_log
+
+_log = obs_log.get_logger("corpus.driver")
 
 #: JSON layout version of RUN_report.json (2: run_id/history provenance
 #: block embedded when the batch records into a run-history ledger)
@@ -181,7 +185,10 @@ def _execute_app(
     from repro.obs.history import race_row
     from repro.perf import collect_counters, collect_stage_timings
 
-    with obs.Recorder() as recorder:
+    # bind the app for the extent of the analysis: every detector-stage
+    # log line (bridged off the obs bus) carries it, in this process or
+    # a forked worker alike
+    with obs_log.bind(app=name), obs.Recorder() as recorder:
         if inject_fail:
             raise RuntimeError(f"injected failure for {name!r} (--inject-fail)")
         if inject_hang_s > 0:
@@ -683,17 +690,29 @@ def run_corpus(
                 KIND_CORPUS, options_dict, meta={"apps": names}
             )
             run.history_path = history
+        obs_log.event(
+            _log, "corpus.start", apps=len(names),
+            isolated=mp_context is not None, run_id=run.run_id,
+        )
         t0 = time.perf_counter()
         for name in names:
             fail = name in inject_fail
             hang = hang_s if name in inject_hang else 0.0
             corrupt = name in inject_cache_corrupt
+            obs_log.event(_log, "app.start", app=name, run_id=run.run_id)
             if mp_context is not None:
                 record = _run_one_isolated(
                     mp_context, name, options_dict, timeout_s, fail, hang, corrupt
                 )
             else:
                 record = _run_one_inline(name, options_dict, fail, hang, corrupt)
+            obs_log.event(
+                _log, "app.finish",
+                level=logging.INFO if record.ok else logging.WARNING,
+                app=name, run_id=run.run_id, status=record.status,
+                elapsed_s=round(record.elapsed_s, 4),
+                error_type=record.error.get("type") if record.error else None,
+            )
             run.records.append(record)
             if ledger is not None:
                 ledger.record_app(
@@ -708,6 +727,7 @@ def run_corpus(
             if progress is not None:
                 progress(record)
         run.elapsed_s = time.perf_counter() - t0
+        obs_log.event(_log, "corpus.finish", run_id=run.run_id, **run.summary())
         if ledger is not None:
             ledger.record_app(
                 run.run_id,

@@ -20,7 +20,15 @@ Views:
 * race table for the latest race-carrying run — each row flags whether
   the fingerprint is new against the previous run and expands into the
   provenance evidence tree (HB chains, aliasing, refutation verdicts)
-  straight from the recorded report JSON.
+  straight from the recorded report JSON;
+* **serve-aware panels** (rendered only when the data exists): the
+  daemon's jobs table, live telemetry charts from the ring-buffer
+  sampler (queue depth + busy workers, job/request latency percentiles
+  with gaps where no data exists, apps/sec), a per-worker heartbeat
+  table, and the SLO status + alert history. ``GET /dashboard`` on a
+  running daemon embeds live samples; ``repro dashboard`` against a
+  ledger file embeds whatever jobs/alerts the ledger recorded. Still
+  one self-contained file, zero external fetches.
 
 Charts follow the repo-neutral reference palette (first three
 categorical slots, validated for colorblind safety in light and dark
@@ -40,9 +48,18 @@ from repro.obs.history import AGGREGATE_APP, RunLedger
 MAX_APP_SERIES = 8
 
 
-def ledger_payload(ledger: RunLedger) -> Dict[str, object]:
+def ledger_payload(
+    ledger: RunLedger,
+    jobs: Optional[List[Dict[str, object]]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
+    alerts: Optional[List[Dict[str, object]]] = None,
+) -> Dict[str, object]:
     """The JSON blob the dashboard embeds: every run with its app rows
-    and races (reports included, for the provenance drill-down)."""
+    and races (reports included, for the provenance drill-down), plus —
+    when the caller has them — the serve daemon's jobs, ring-buffer
+    telemetry, and SLO alert rows. All three ride in this one payload so
+    the document stays a single inline ``<script type="application/
+    json">`` block."""
     runs: List[Dict[str, object]] = []
     for run in ledger.runs():
         run_id = str(run["run_id"])
@@ -56,12 +73,60 @@ def ledger_payload(ledger: RunLedger) -> Dict[str, object]:
                 "races": ledger.races(run_id, with_reports=True),
             }
         )
-    return {"aggregate_app": AGGREGATE_APP, "max_app_series": MAX_APP_SERIES, "runs": runs}
+    return {
+        "aggregate_app": AGGREGATE_APP,
+        "max_app_series": MAX_APP_SERIES,
+        "runs": runs,
+        "jobs": jobs,
+        "telemetry": telemetry,
+        "alerts": alerts,
+    }
 
 
-def render_dashboard(ledger: RunLedger, title: str = "SIERRA run history") -> str:
+def ledger_jobs(ledger: RunLedger, limit: int = 100) -> Optional[List[Dict[str, object]]]:
+    """The serve daemon's job rows when the ledger file carries a
+    ``jobs`` table (it does once ``repro serve`` ever pointed at it);
+    None for a pure analysis ledger — the dashboard then simply omits
+    the service panels. Read-only: a ``repro dashboard`` over someone
+    else's ledger must not create tables in it."""
+    present = ledger._query(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='jobs'"
+    )
+    if not present:
+        return None
+    rows = ledger._query(
+        "SELECT * FROM jobs ORDER BY submitted_utc DESC, rowid DESC LIMIT ?",
+        [int(limit)],
+    )
+    out = []
+    for row in rows:
+        out.append(
+            {
+                "job_id": row["job_id"],
+                "app": row["app"],
+                "status": row["status"],
+                "submitted_utc": row["submitted_utc"],
+                "finished_utc": row["finished_utc"],
+                "worker": row["worker"],
+                "run_id": row["run_id"],
+                "elapsed_s": row["elapsed_s"],
+            }
+        )
+    return out
+
+
+def render_dashboard(
+    ledger: RunLedger,
+    title: str = "SIERRA run history",
+    jobs: Optional[List[Dict[str, object]]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
+    alerts: Optional[List[Dict[str, object]]] = None,
+) -> str:
     """Render the ledger as one self-contained HTML document."""
-    payload = json.dumps(ledger_payload(ledger), sort_keys=True)
+    payload = json.dumps(
+        ledger_payload(ledger, jobs=jobs, telemetry=telemetry, alerts=alerts),
+        sort_keys=True,
+    )
     # an embedded "</script>" (e.g. in a field name) must not close our tag
     payload = payload.replace("</", "<\\/")
     return (
@@ -71,9 +136,20 @@ def render_dashboard(ledger: RunLedger, title: str = "SIERRA run history") -> st
     )
 
 
-def write_dashboard(ledger: RunLedger, path: str, title: str = "SIERRA run history") -> None:
+def write_dashboard(
+    ledger: RunLedger,
+    path: str,
+    title: str = "SIERRA run history",
+    jobs: Optional[List[Dict[str, object]]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
+    alerts: Optional[List[Dict[str, object]]] = None,
+) -> None:
     with open(path, "w") as fh:
-        fh.write(render_dashboard(ledger, title=title))
+        fh.write(
+            render_dashboard(
+                ledger, title=title, jobs=jobs, telemetry=telemetry, alerts=alerts
+            )
+        )
 
 
 def _escape(text: str) -> str:
@@ -172,6 +248,30 @@ tr.open + tr .evidence { display: block; }
   <h1>__TITLE__</h1>
   <p class="sub" id="subtitle"></p>
   <section class="tiles" id="tiles"></section>
+  <section id="slo-section" hidden>
+    <h2>Service level</h2>
+    <div class="card" id="slo-status"></div>
+  </section>
+  <section id="telemetry-section" hidden>
+    <h2>Live telemetry — queue &amp; workers</h2>
+    <div class="card" id="queue-chart"></div>
+    <h2 style="margin-top:18px">Live telemetry — latency</h2>
+    <div class="card" id="latency-chart"></div>
+    <h2 style="margin-top:18px">Live telemetry — throughput</h2>
+    <div class="card" id="throughput-chart"></div>
+    <h2 style="margin-top:18px">Workers</h2>
+    <div class="card"><table id="worker-table"></table>
+      <p class="note">Heartbeats freeze at claim time: a growing age on
+      a busy worker means its job is still running (or wedged).</p></div>
+  </section>
+  <section id="jobs-section" hidden>
+    <h2>Jobs</h2>
+    <div class="card"><table id="jobs-table"></table></div>
+  </section>
+  <section id="alerts-section" hidden>
+    <h2>SLO alert history</h2>
+    <div class="card"><table id="alerts-table"></table></div>
+  </section>
   <section>
     <h2>Stage timings across runs</h2>
     <div class="card" id="stage-trend"></div>
@@ -462,6 +562,134 @@ function legend(el, series) {
     card.appendChild(svg);
     el.appendChild(card);
   }
+})();
+
+// ----------------------------------------------------- serve panels
+function simpleTable(table, headers, rows) {
+  const head = document.createElement("tr");
+  for (const h of headers) {
+    const th = document.createElement("th"); th.textContent = h; head.appendChild(th);
+  }
+  table.appendChild(head);
+  for (const row of rows) {
+    const tr = document.createElement("tr");
+    row.forEach((cell, i) => {
+      const td = document.createElement("td");
+      if (cell && cell.badge != null) {
+        const b = document.createElement("span");
+        b.className = "badge" + (cell.bad ? " new" : "");
+        b.textContent = cell.badge;
+        td.appendChild(b);
+      } else td.textContent = cell == null ? "–" : String(cell);
+      if (cell && cell.mono) td.className = "fp";
+      tr.appendChild(td);
+    });
+    table.appendChild(tr);
+  }
+}
+
+(function sloStatus() {
+  const tel = DATA.telemetry;
+  if (!tel || !tel.slo) return;
+  document.getElementById("slo-section").hidden = false;
+  const el = document.getElementById("slo-status");
+  const ok = tel.slo.status === "ok";
+  const head = document.createElement("div");
+  head.className = "tile";
+  const value = document.createElement("div");
+  value.className = "value";
+  value.textContent = tel.slo.status.toUpperCase();
+  value.style.color = css(ok ? "--status-good" : "--status-critical");
+  head.appendChild(value);
+  el.appendChild(head);
+  for (const v of tel.slo.violations || []) {
+    const line = document.createElement("div");
+    line.className = "note";
+    line.textContent = `${v.objective}: ${v.metric} = ${fmt(v.value)} ` +
+      `(threshold ${fmt(v.threshold)}, burn rate ${fmt(v.burn_rate)}, ` +
+      `since ${v.since_utc})`;
+    line.style.color = css("--status-critical");
+    el.appendChild(line);
+  }
+  if (ok) {
+    const line = document.createElement("div");
+    line.className = "note";
+    line.textContent = "all declared objectives within budget";
+    el.appendChild(line);
+  }
+})();
+
+(function telemetryCharts() {
+  const tel = DATA.telemetry;
+  if (!tel || !tel.samples || !tel.samples.length) return;
+  document.getElementById("telemetry-section").hidden = false;
+  const samples = tel.samples;
+  const labels = samples.map(s => (s.ts_utc || "").slice(11, 19));
+  const pick = key => samples.map(s => (typeof s[key] === "number" ? s[key] : null));
+  const qEl = document.getElementById("queue-chart");
+  const qSeries = [
+    {name: "queue depth", color: "--series-1", values: pick("queue_depth")},
+    {name: "running", color: "--series-2", values: pick("jobs_running")},
+    {name: "workers busy", color: "--series-3", values: pick("workers_busy")},
+  ];
+  legend(qEl, qSeries); lineChart(qEl, labels, qSeries, "");
+  const lEl = document.getElementById("latency-chart");
+  // nulls (empty-histogram NaN upstream) render as gaps, never zeros
+  const lSeries = [
+    {name: "job p50", color: "--series-1", values: pick("job_p50_s")},
+    {name: "job p99", color: "--series-2", values: pick("job_p99_s")},
+    {name: "request p99", color: "--series-4", values: pick("request_p99_s")},
+  ];
+  legend(lEl, lSeries); lineChart(lEl, labels, lSeries, "s");
+  const tEl = document.getElementById("throughput-chart");
+  const tSeries = [
+    {name: "apps/sec", color: "--series-3", values: pick("apps_per_s")},
+  ];
+  legend(tEl, tSeries); lineChart(tEl, labels, tSeries, "/s");
+  const last = samples[samples.length - 1];
+  if (last && last.workers && last.workers.length) {
+    simpleTable(
+      document.getElementById("worker-table"),
+      ["worker", "state", "job", "heartbeat age (s)", "jobs finished"],
+      last.workers.map(w => [
+        w.worker,
+        {badge: w.busy ? "busy" : "idle", bad: false},
+        w.job_id || "–",
+        fmt(w.heartbeat_age_s),
+        w.jobs_finished,
+      ]),
+    );
+  }
+})();
+
+(function jobsTable() {
+  const jobs = DATA.jobs;
+  if (!jobs || !jobs.length) return;
+  document.getElementById("jobs-section").hidden = false;
+  simpleTable(
+    document.getElementById("jobs-table"),
+    ["job", "app", "status", "worker", "submitted (UTC)", "elapsed (s)", "run"],
+    jobs.map(j => [
+      j.job_id, j.app,
+      {badge: j.status, bad: j.status === "failed"},
+      j.worker, j.submitted_utc, fmt(j.elapsed_s), j.run_id,
+    ]),
+  );
+})();
+
+(function alertsTable() {
+  const alerts = DATA.alerts;
+  if (!alerts || !alerts.length) return;
+  document.getElementById("alerts-section").hidden = false;
+  simpleTable(
+    document.getElementById("alerts-table"),
+    ["when (UTC)", "objective", "state", "value", "threshold"],
+    alerts.slice(-100).map(a => [
+      a.ts_utc, a.objective,
+      {badge: a.state, bad: a.state === "firing"},
+      fmt(a.value), fmt(a.threshold),
+    ]),
+  );
 })();
 
 // ------------------------------------------------- provenance render

@@ -199,6 +199,16 @@ def _new_span_id() -> str:
     return f"{os.getpid():x}-{next(_span_counter)}"
 
 
+def current_span_id() -> Optional[str]:
+    """The id of the innermost open span, or None outside any span.
+
+    This is the correlation handle the structured log formatter
+    (:mod:`repro.obs.log`) stamps on every record, so a log line emitted
+    mid-stage joins the same tree the Chrome trace exports. Ids are only
+    minted while hooks are installed (see :func:`_timed_pair`)."""
+    return _span_stack[-1] if _span_stack else None
+
+
 def _memory_snapshot() -> Optional[Dict[str, int]]:
     if not _capture_memory:
         return None

@@ -26,6 +26,7 @@ ledgers and bad run references, raised as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
 from repro.obs.history import AGGREGATE_APP, RunLedger
@@ -55,6 +56,9 @@ class RunDiff:
     #: apps present in only one run (coverage changed: diff is partial)
     apps_only_a: List[str] = field(default_factory=list)
     apps_only_b: List[str] = field(default_factory=list)
+    #: SLO alerts the serve watchdog recorded between the two runs —
+    #: a regression that fired in production context, not just in a diff
+    alerts: List[Dict[str, object]] = field(default_factory=list)
     options_changed: bool = False
 
     @property
@@ -83,6 +87,7 @@ class RunDiff:
             "metric_deltas": list(self.metric_deltas),
             "apps_only_in_a": list(self.apps_only_a),
             "apps_only_in_b": list(self.apps_only_b),
+            "alerts": list(self.alerts),
             "clean": self.clean,
         }
 
@@ -171,6 +176,23 @@ def _diff_metrics(diff: RunDiff, apps_a, apps_b, metric_threshold: float) -> Non
             )
 
 
+def _next_second(ts_utc: str) -> str:
+    """Upper clamp for the alert window: one second past ``ts_utc``.
+
+    Run rows stamp at whole-second precision while alert rows carry
+    milliseconds, and the ledger compares the ISO strings
+    lexicographically — an alert at ``...:05.123+00:00`` sorts *after*
+    a same-second run at ``...:05+00:00``. Widening the bound by one
+    second (re-emitted at millisecond precision) keeps alerts recorded
+    inside run B's second in the window.
+    """
+    try:
+        bound = datetime.fromisoformat(ts_utc) + timedelta(seconds=1)
+    except ValueError:
+        return ts_utc
+    return bound.isoformat(timespec="milliseconds")
+
+
 def diff_runs(
     ledger: RunLedger,
     ref_a: str,
@@ -205,6 +227,10 @@ def diff_runs(
     )
     _diff_stages(diff, per_a, per_b, time_threshold, time_floor)
     _diff_metrics(diff, per_a, per_b, metric_threshold)
+    ts_a, ts_b = str(run_a["ts_utc"]), str(run_b["ts_utc"])
+    diff.alerts = ledger.alerts(
+        since_utc=min(ts_a, ts_b), until_utc=_next_second(max(ts_a, ts_b))
+    )
     return diff
 
 
@@ -278,6 +304,22 @@ def render_diff(diff: RunDiff) -> str:
             lines.append(f"  ... and {len(diff.metric_deltas) - 20} more")
     else:
         lines.append("metrics: no deltas beyond the noise threshold")
+
+    if diff.alerts:
+        fired = [a for a in diff.alerts if a["state"] == "firing"]
+        lines.append(
+            f"SLO alerts between the runs: {len(fired)} fired, "
+            f"{len(diff.alerts) - len(fired)} resolved"
+        )
+        for alert in diff.alerts[:10]:
+            value = alert["value"]
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            lines.append(
+                f"  [{alert['state']}] {alert['ts_utc']} {alert['objective']}: "
+                f"value {shown} vs threshold {alert['threshold']}"
+            )
+        if len(diff.alerts) > 10:
+            lines.append(f"  ... and {len(diff.alerts) - 10} more")
 
     verdict = (
         "clean: no new races, no timing regressions"

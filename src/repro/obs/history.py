@@ -162,6 +162,15 @@ CREATE TABLE IF NOT EXISTS races (
     PRIMARY KEY (run_id, app, fingerprint)
 );
 CREATE INDEX IF NOT EXISTS races_by_fingerprint ON races(fingerprint);
+CREATE TABLE IF NOT EXISTS alerts (
+    ts_utc      TEXT NOT NULL,
+    objective   TEXT NOT NULL,
+    state       TEXT NOT NULL,
+    value       REAL,
+    threshold   REAL,
+    detail_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS alerts_by_ts ON alerts(ts_utc);
 """
 
 
@@ -336,7 +345,77 @@ class RunLedger:
             races=[race_row(r) for r in report.reports],
         )
 
+    def record_alert(
+        self,
+        objective: str,
+        state: str,
+        value: Optional[float] = None,
+        threshold: Optional[float] = None,
+        detail: Optional[Dict[str, object]] = None,
+        ts_utc: Optional[str] = None,
+    ) -> None:
+        """Append one SLO alert transition (``firing`` or ``resolved``).
+
+        Written by the serve daemon's watchdog so service-health history
+        lives next to analysis history: ``repro diff`` can say "between
+        these two runs the daemon fired queue_wait twice" and the
+        dashboard can plot outages on the same timeline as race counts.
+        """
+        if state not in ("firing", "resolved"):
+            raise ValueError(f"alert state must be firing|resolved, not {state!r}")
+        try:
+            with self._write_txn() as db:
+                db.execute(
+                    "INSERT INTO alerts (ts_utc, objective, state, value,"
+                    " threshold, detail_json) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        ts_utc
+                        or datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+                        objective,
+                        state,
+                        None if value is None else float(value),
+                        None if threshold is None else float(threshold),
+                        json.dumps(detail or {}, sort_keys=True, default=repr),
+                    ),
+                )
+        except sqlite3.DatabaseError as exc:
+            raise LedgerError(f"{self.path}: cannot append alert ({exc})") from exc
+
     # -- reading -------------------------------------------------------
+    def alerts(
+        self,
+        since_utc: Optional[str] = None,
+        until_utc: Optional[str] = None,
+        limit: int = 500,
+    ) -> List[Dict[str, object]]:
+        """Alert rows oldest-first, optionally clamped to a UTC window
+        (ISO-8601 strings compare lexicographically)."""
+        sql = "SELECT * FROM alerts"
+        clauses, args = [], []  # type: List[str], List[object]
+        if since_utc is not None:
+            clauses.append("ts_utc >= ?")
+            args.append(since_utc)
+        if until_utc is not None:
+            clauses.append("ts_utc <= ?")
+            args.append(until_utc)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY ts_utc, rowid LIMIT ?"
+        args.append(int(limit))
+        out = []
+        for row in self._query(sql, args):
+            out.append(
+                {
+                    "ts_utc": row["ts_utc"],
+                    "objective": row["objective"],
+                    "state": row["state"],
+                    "value": row["value"],
+                    "threshold": row["threshold"],
+                    "detail": self._load_json(row["detail_json"], "alert detail"),
+                }
+            )
+        return out
+
     def _query(self, sql: str, args: Sequence[object] = ()) -> List[sqlite3.Row]:
         try:
             with self._lock:

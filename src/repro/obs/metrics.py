@@ -150,12 +150,13 @@ class Histogram:
         estimate interpolates linearly across the winning bucket's range
         and clamps to the observed ``[min, max]`` (a histogram with one
         sample answers that sample for every ``q``; an empty one answers
-        0.0 rather than inventing a value).
+        ``float("nan")`` — "no data" must never plot as a real 0.0
+        latency on a telemetry panel; samplers render it as a gap).
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} out of range 0..100")
         if self._count == 0:
-            return 0.0
+            return float("nan")
         if self._count == 1 or self._min == self._max:
             return float(self._min)  # type: ignore[arg-type]
         target = (q / 100.0) * self._count

@@ -392,13 +392,15 @@ def run_serve_bench(
             )
             oneshot_runs[name] = run_id
 
-    # phase 2: the daemon under load
+    # phase 2: the daemon under load (sampling fast: a bench run is
+    # seconds long, and the telemetry block below should see it happen)
     with ServeDaemon(
         ledger_path,
         options=options,
         workers=workers,
         port=0,
         job_timeout_s=job_timeout_s,
+        sample_interval_s=0.25,
     ) as daemon:
         load = run_corpus_remote(
             apps=apps,
@@ -407,6 +409,22 @@ def run_serve_bench(
             timeout_s=job_timeout_s,
         )
         isolated = daemon.pool.isolated
+        # read the ring buffer while the daemon is still alive: how much
+        # of the load the sampler witnessed, and whether any SLO fired
+        daemon.sampler.sample_once()
+        samples = daemon.sampler.snapshot()
+        depths = [
+            s["queue_depth"]
+            for s in samples
+            if isinstance(s.get("queue_depth"), (int, float))
+        ]
+        slo = daemon.watchdog.status()
+        telemetry_block = {
+            "samples": len(samples),
+            "peak_queue_depth": max(depths) if depths else 0,
+            "slo_status": slo["status"],
+            "slo_violations": [v["objective"] for v in slo["violations"]],
+        }
 
     summary = load.summary()
     app_records: Dict[str, Dict[str, object]] = {}
@@ -445,6 +463,7 @@ def run_serve_bench(
         "apps_per_s": summary["apps_per_s"],
         "latency_p50_s": summary["latency_p50_s"],
         "latency_p99_s": summary["latency_p99_s"],
+        "telemetry": telemetry_block,
         "apps": app_records,
         "equivalence": {
             "identical": not divergent,

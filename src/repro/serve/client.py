@@ -93,11 +93,13 @@ class ServeClient:
             raise ServeError(f"{method} {path}: non-object response")
         return payload
 
-    def _get_text(self, path: str) -> str:
+    def _get_text(self, path: str, accept: Optional[str] = None) -> str:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            headers={"Accept": accept} if accept else {},
+        )
         try:
-            with urllib.request.urlopen(
-                f"{self.base_url}{path}", timeout=self.timeout_s
-            ) as response:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
                 return response.read().decode("utf-8")
         except (urllib.error.URLError, OSError) as exc:
             raise ServeError(f"{self.base_url}: {exc}") from exc
@@ -158,6 +160,16 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, object]:
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``/metrics`` (what a scraper
+        negotiating ``text/plain`` sees)."""
+        return self._get_text("/metrics", accept="text/plain; version=0.0.4")
+
+    def telemetry(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The daemon's ring-buffer time-series and SLO status."""
+        path = "/v1/telemetry" + (f"?limit={int(limit)}" if limit else "")
+        return self._request("GET", path)
 
     def dashboard(self) -> str:
         """The self-contained dashboard HTML."""

@@ -291,6 +291,27 @@ class JobStore:
                 raise LedgerError(f"{self.path}: malformed job store ({exc})") from exc
         return [_job_from_row(row) for row in rows]
 
+    def oldest_queued_age_s(self) -> Optional[float]:
+        """Seconds the oldest still-queued job has waited (None when the
+        queue is empty) — the ``queue_wait`` SLO's input."""
+        with self._lock:
+            try:
+                row = self._db.execute(
+                    "SELECT submitted_utc FROM jobs WHERE status = ? "
+                    "ORDER BY submitted_utc, rowid LIMIT 1",
+                    (QUEUED,),
+                ).fetchone()
+            except sqlite3.DatabaseError as exc:
+                raise LedgerError(f"{self.path}: malformed job store ({exc})") from exc
+        if row is None:
+            return None
+        try:
+            submitted = datetime.fromisoformat(row["submitted_utc"])
+        except (TypeError, ValueError):
+            return None
+        age = (datetime.now(timezone.utc) - submitted).total_seconds()
+        return round(max(0.0, age), 3)
+
     def counts(self) -> Dict[str, int]:
         """``{status: count}`` over the whole table (health endpoint)."""
         out = {status: 0 for status in (QUEUED, RUNNING, DONE, FAILED)}

@@ -24,15 +24,19 @@ lost, and the daemon says so at startup.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import threading
 import time
 from typing import Dict, Optional
 
 from repro.core import SierraOptions
+from repro.obs import log as obs_log
 from repro.obs import metrics
 from repro.obs.history import KIND_SERVE, LedgerError, RunLedger
 from repro.serve.jobs import DONE, FAILED, Job, JobStore
+
+_log = obs_log.get_logger("serve.worker")
 
 #: job-option keys a client may send: the analysis knobs of
 #: :class:`SierraOptions` (the server owns cache_dir — a client must not
@@ -96,6 +100,12 @@ class WorkerPool:
         self._threads: list = []
         self._stop = threading.Event()
         self._wake = threading.Event()
+        # per-worker heartbeat/claim state: updated on every loop tick
+        # while idle, *frozen at claim time* while a job runs — so a
+        # wedged worker's heartbeat age grows visibly in /healthz long
+        # before the job budget expires
+        self._status_lock = threading.Lock()
+        self._worker_state: Dict[str, Dict[str, object]] = {}
         # in-process fallback when fork is unavailable: one job at a time
         # (the metrics registry is process-global; interleaved scrape
         # windows would corrupt each other's counters)
@@ -144,8 +154,44 @@ class WorkerPool:
         """Wake sleeping workers (called on every submission)."""
         self._wake.set()
 
+    # -- heartbeats ----------------------------------------------------
+    def _beat(self, worker_name: str, busy: bool, job_id: Optional[str] = None) -> None:
+        with self._status_lock:
+            state = self._worker_state.setdefault(
+                worker_name, {"jobs_finished": 0}
+            )
+            state["busy"] = busy
+            state["job_id"] = job_id
+            state["heartbeat_monotonic"] = time.monotonic()
+            if not busy and state.get("_was_busy"):
+                state["jobs_finished"] = int(state.get("jobs_finished", 0)) + 1
+            state["_was_busy"] = busy
+
+    def worker_status(self) -> list:
+        """Per-worker liveness for ``/healthz`` and the sampler:
+        ``heartbeat_age_s`` (frozen while a job runs — growth == stall),
+        busy flag, the claimed ``job_id``, jobs finished so far."""
+        now = time.monotonic()
+        with self._status_lock:
+            out = []
+            for name in sorted(self._worker_state):
+                state = self._worker_state[name]
+                out.append(
+                    {
+                        "worker": name,
+                        "busy": bool(state.get("busy")),
+                        "job_id": state.get("job_id"),
+                        "heartbeat_age_s": round(
+                            now - float(state.get("heartbeat_monotonic", now)), 3
+                        ),
+                        "jobs_finished": int(state.get("jobs_finished", 0)),
+                    }
+                )
+        return out
+
     # -- the loop ------------------------------------------------------
     def _loop(self, worker_name: str) -> None:
+        self._beat(worker_name, busy=False)
         while not self._stop.is_set():
             try:
                 job = self.store.claim(worker_name)
@@ -154,9 +200,15 @@ class WorkerPool:
                 # ledger file unlinked) — nothing sane left to do here
                 return
             if job is None:
+                self._beat(worker_name, busy=False)
                 self._wake.wait(self.poll_interval_s)
                 self._wake.clear()
                 continue
+            self._beat(worker_name, busy=True, job_id=job.job_id)
+            obs_log.event(
+                _log, "job.claimed", job_id=job.job_id, app=job.app,
+                worker=worker_name,
+            )
             try:
                 self._run_job(job, worker_name)
             except Exception as exc:  # noqa: BLE001 — the thread must survive
@@ -169,6 +221,13 @@ class WorkerPool:
                 except LedgerError:
                     pass
                 self._jobs_failed.inc()
+                obs_log.event(
+                    _log, "job.failed", level=logging.WARNING,
+                    job_id=job.job_id, app=job.app, worker=worker_name,
+                    error_type=type(exc).__name__, error=str(exc),
+                )
+            finally:
+                self._beat(worker_name, busy=False)
 
     def _run_job(self, job: Job, worker_name: str) -> None:
         from repro.corpus.driver import _run_one_inline, _run_one_isolated
@@ -179,20 +238,24 @@ class WorkerPool:
             self.job_timeout_s + 30.0 if job.options.get("inject_hang") else 0.0
         )
         t0 = time.perf_counter()
-        if self._mp_context is not None:
-            record = _run_one_isolated(
-                self._mp_context,
-                job.app,
-                options_dict,
-                self.job_timeout_s,
-                inject_fail,
-                inject_hang_s,
-            )
-        else:
-            with self._inline_lock:
-                record = _run_one_inline(
-                    job.app, options_dict, inject_fail, inject_hang_s
+        # bind the job's identity for the extent of the analysis: the
+        # forked child inherits the binding, so detector-stage log lines
+        # carry job_id/app with no plumbing through the driver
+        with obs_log.bind(job_id=job.job_id, app=job.app, worker=worker_name):
+            if self._mp_context is not None:
+                record = _run_one_isolated(
+                    self._mp_context,
+                    job.app,
+                    options_dict,
+                    self.job_timeout_s,
+                    inject_fail,
+                    inject_hang_s,
                 )
+            else:
+                with self._inline_lock:
+                    record = _run_one_inline(
+                        job.app, options_dict, inject_fail, inject_hang_s
+                    )
         elapsed = time.perf_counter() - t0
 
         # one ledger run per job: the same row shape `repro analyze
@@ -215,14 +278,27 @@ class WorkerPool:
         if record.status in _SERVED_STATUSES:
             self.store.finish(job.job_id, DONE, run_id=run_id, elapsed_s=elapsed)
             self._jobs_done.inc()
+            obs_log.event(
+                _log, "job.done", job_id=job.job_id, app=job.app,
+                worker=worker_name, run_id=run_id,
+                elapsed_s=round(elapsed, 4), races=len(record.races or ()),
+            )
         else:
+            error = record.error or {
+                "type": "AnalysisFailed", "message": record.status,
+            }
             self.store.finish(
                 job.job_id,
                 FAILED,
                 run_id=run_id,
-                error=record.error
-                or {"type": "AnalysisFailed", "message": record.status},
+                error=error,
                 elapsed_s=elapsed,
             )
             self._jobs_failed.inc()
+            obs_log.event(
+                _log, "job.failed", level=logging.WARNING,
+                job_id=job.job_id, app=job.app, worker=worker_name,
+                run_id=run_id, elapsed_s=round(elapsed, 4),
+                error_type=error.get("type"), error=error.get("message"),
+            )
         self._job_seconds.observe(elapsed)

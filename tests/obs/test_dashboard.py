@@ -110,3 +110,41 @@ class TestPayload:
         db.write_bytes(b"\x00" * 512)
         assert main(["dashboard", "--history", str(db),
                      "-o", str(tmp_path / "d.html")]) == 2
+
+
+class TestServeAware:
+    def test_ledger_jobs_is_none_for_pure_analysis_ledger(self, tmp_path):
+        from repro.obs.dashboard import ledger_jobs
+
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            # never creates a jobs table in someone else's ledger
+            assert ledger_jobs(ledger) is None
+
+    def test_ledger_jobs_reads_a_serve_ledger(self, tmp_path):
+        from repro.obs.dashboard import ledger_jobs
+        from repro.serve import JobStore
+
+        db = str(tmp_path / "h.db")
+        with JobStore(db) as store:
+            store.submit("quickstart")
+        with RunLedger(db) as ledger:
+            (job,) = ledger_jobs(ledger)
+        assert job["app"] == "quickstart"
+        assert job["status"] == "queued"
+
+    def test_cli_dashboard_embeds_jobs_and_alerts(self, tmp_path):
+        from repro.cli import main
+        from repro.serve import JobStore
+
+        db = str(tmp_path / "h.db")
+        with JobStore(db) as store:
+            store.submit("newsreader")
+        with RunLedger(db) as ledger:
+            ledger.record_alert("queue_wait", "firing", value=90.0, threshold=60.0)
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--history", db, "-o", str(out)]) == 0
+        html = out.read_text()
+        assert '"jobs":' in html and "newsreader" in html
+        assert '"alerts":' in html and "queue_wait" in html
+        assert "jobs-section" in html and "alerts-section" in html

@@ -188,3 +188,27 @@ class TestRenderDiff:
         assert diff.apps_only_a == ["app1"]
         assert diff.apps_only_b == ["app2"]
         assert "only in run" in render_diff(diff)
+
+    def test_slo_alerts_between_runs_surface(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run_a = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_a, "app")
+            # the serve watchdog fired between the two analysis runs
+            ledger.record_alert(
+                "queue_wait", "firing", value=90.0, threshold=60.0
+            )
+            ledger.record_alert(
+                "queue_wait", "resolved", value=5.0, threshold=60.0
+            )
+            run_b = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_b, "app")
+            diff = diff_runs(ledger, run_a, run_b)
+        assert [a["state"] for a in diff.alerts] == ["firing", "resolved"]
+        assert diff.alerts[0]["objective"] == "queue_wait"
+        assert diff.to_dict()["alerts"] == diff.alerts
+        text = render_diff(diff)
+        assert "SLO alerts between the runs: 1 fired, 1 resolved" in text
+        assert "queue_wait" in text
+        # alert history never gates: the run comparison itself is clean
+        assert diff.clean

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -127,11 +128,17 @@ class TestPipelineIntegration:
 class TestHistogramPercentile:
     """Edge cases of the bucket-interpolated percentile estimator."""
 
-    def test_empty_histogram_answers_zero(self, registry):
+    def test_empty_histogram_answers_nan_not_zero(self, registry):
+        # 0.0 would plot as a real latency on a telemetry panel; "no
+        # data" must stay distinguishable from "observed zero"
         h = registry.histogram("x.sizes")
-        assert h.percentile(0) == 0.0
-        assert h.percentile(50) == 0.0
-        assert h.percentile(100) == 0.0
+        assert math.isnan(h.percentile(0))
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.percentile(100))
+        h.observe(3)
+        assert h.percentile(50) == 3.0  # data arrives -> real answers again
+        h.reset()
+        assert math.isnan(h.percentile(99))
 
     def test_single_sample_answers_that_sample_for_every_q(self, registry):
         h = registry.histogram("x.sizes")
