@@ -9,6 +9,8 @@ Usage (from the repo root):
                                                   # gate vs the run ledger
     PYTHONPATH=src python benchmarks/run_bench.py --serve
                                                   # serve/CLI equivalence gate
+    PYTHONPATH=src python benchmarks/run_bench.py --corpus
+                                                  # sharded-corpus gate
 
 The gate re-runs the pipeline benches (skipping the slower naive-baseline
 speedup measurement so the whole run stays under a minute), then fails with
@@ -22,6 +24,14 @@ recorded bench run** via ``repro.obs.diffing`` (so the baseline rolls
 forward with every green run instead of living in a committed JSON file).
 The first run against an empty ledger records itself and passes. Exit 2 on
 a malformed ledger — corrupt history must never read as "no regressions".
+
+``--corpus`` re-runs the seeded family corpus through the sharded
+work-stealing scheduler with the exact parameters the baseline's ``corpus``
+block recorded (count, seed, families, shard counts). It exits 2 when
+ground-truth recall on the injected races drops below the recorded
+baseline or when sharded results diverge from the serial run, and exits 1
+when apps/sec at any recorded shard count regresses more than
+``--threshold``x. ``--corpus --update`` refreshes the block in place.
 
 The gate also runs one traced pipeline and validates the emitted Chrome
 trace-event JSON (required keys, monotonic per-track timestamps, balanced
@@ -188,6 +198,100 @@ def serve_gate(args) -> int:
     return 0
 
 
+def corpus_gate(args) -> int:
+    """Sharded-corpus suite: throughput per shard count + recall gate.
+
+    Re-runs :func:`repro.perf.bench.run_corpus_bench` with the parameters
+    the baseline's ``corpus`` block recorded so the comparison is
+    apples-to-apples. Exit 2 on a correctness break (recall below the
+    recorded baseline, or sharded results diverging from serial); exit 1
+    on a throughput regression beyond ``--threshold``x at any recorded
+    shard count. ``--update`` re-runs the full suite (corpus included)
+    and rewrites the baseline.
+    """
+    from repro.perf.bench import run_corpus_bench
+
+    if args.update:
+        data = run_bench(out_path=str(args.baseline), corpus=True)
+        block = data["corpus"]
+        print(f"baseline updated: {args.baseline} (corpus: "
+              f"{block['count']} apps, recall "
+              f"{block['ground_truth']['recall']:.3f})")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with "
+              "--corpus --update first", file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: baseline {args.baseline} is not valid JSON ({exc}); "
+              "run with --corpus --update to regenerate it", file=sys.stderr)
+        return 2
+    base = baseline.get("corpus")
+    if not base:
+        print(f"error: baseline {args.baseline} has no corpus block; "
+              "run with --corpus --update to record one", file=sys.stderr)
+        return 2
+
+    shard_counts = sorted(int(s) for s in base["shards"])
+    current = run_corpus_bench(
+        count=base["count"],
+        seed=base["seed"],
+        shard_counts=shard_counts,
+        families=base.get("families"),
+        max_size=base.get("max_size", 2),
+        timeout_s=base.get("timeout_s", 120.0),
+    )
+
+    for shards in shard_counts:
+        block = current["shards"][str(shards)]
+        recorded = base["shards"][str(shards)]
+        print(f"shards={shards}: {block['apps_per_s']:.2f} apps/s "
+              f"(recorded {recorded['apps_per_s']:.2f}), "
+              f"p50={block['latency_p50_s']:.3f}s "
+              f"p99={block['latency_p99_s']:.3f}s, "
+              f"steals={block['steals']}")
+    truth = current["ground_truth"]
+    base_truth = base["ground_truth"]
+    print(f"recall={truth['recall']:.3f} (recorded "
+          f"{base_truth['recall']:.3f}), precision={truth['precision']:.3f}, "
+          f"{truth['found']}/{truth['expected']} injected races found")
+
+    equivalence = current["equivalence"]
+    if not equivalence["identical"]:
+        print(f"\nSHARDED/SERIAL DIVERGENCE: {equivalence['divergences']}",
+              file=sys.stderr)
+        return 2
+    if truth["recall"] < base_truth["recall"] - 1e-9:
+        print(f"\nRECALL REGRESSION: {truth['recall']:.3f} < recorded "
+              f"{base_truth['recall']:.3f} "
+              f"({truth['found']}/{truth['expected']} found, "
+              f"{truth['apps_with_misses']} apps with misses)",
+              file=sys.stderr)
+        return 2
+
+    violations = []
+    for shards in shard_counts:
+        cur = current["shards"][str(shards)]["apps_per_s"]
+        rec = base["shards"][str(shards)]["apps_per_s"]
+        if cur * args.threshold < rec:
+            violations.append(
+                f"shards={shards}: {cur:.2f} apps/s is more than "
+                f"{args.threshold:g}x below the recorded {rec:.2f}")
+    if violations:
+        print("\nCORPUS THROUGHPUT REGRESSION:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+
+    print(f"\nok: recall held at {truth['recall']:.3f}, sharded results "
+          "identical to serial, throughput within "
+          f"{args.threshold:g}x of the recording")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -210,9 +314,17 @@ def main(argv=None) -> int:
                         help="bench an in-process serve daemon under load; "
                         "gate serve/CLI result equivalence (exit 2 on "
                         "divergence) and report apps/sec + p50/p99")
+    parser.add_argument("--corpus", action="store_true",
+                        help="re-run the seeded family corpus through the "
+                        "sharded scheduler with the baseline's recorded "
+                        "parameters; exit 2 if recall drops below the "
+                        "recording or sharded results diverge from serial, "
+                        "exit 1 on a throughput regression")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
+    if args.corpus:
+        return corpus_gate(args)
     if args.serve:
         return serve_gate(args)
     if args.warm:
@@ -220,7 +332,9 @@ def main(argv=None) -> int:
     if args.history:
         return gate_against_history(args.history, args.threshold)
     if args.update:
-        run_bench(out_path=str(args.baseline))
+        # a full refresh keeps the corpus block too, so a plain --update
+        # never silently drops the sharded-corpus recording
+        run_bench(out_path=str(args.baseline), corpus=True)
         print(f"baseline updated: {args.baseline} "
               f"({time.perf_counter() - started:.1f}s)")
         return 0

@@ -71,9 +71,17 @@ def load_app(name: str) -> Apk:
             raise SystemExit("fdroid index must be 0..173")
         apk, _truth = synthesize_app(fdroid_spec(index))
         return apk
+    if name.startswith("family:"):
+        from repro.corpus.families import synthesize_family_app
+
+        try:
+            apk, _truth = synthesize_family_app(name)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        return apk
     raise SystemExit(
         f"unknown app {name!r}; use one of {sorted(_FIGURE_APPS)}, "
-        "paper:<Name>, or fdroid:<index>"
+        "paper:<Name>, fdroid:<index>, or family:<family>:<size>:<seed>"
     )
 
 
@@ -90,6 +98,14 @@ def is_known_app(name: str) -> bool:
             return 0 <= int(name[len("fdroid:") :]) < 174
         except ValueError:
             return False
+    if name.startswith("family:"):
+        from repro.corpus.families import parse_family_name
+
+        try:
+            parse_family_name(name)
+        except ValueError:
+            return False
+        return True
     return False
 
 
@@ -337,6 +353,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             serve=args.serve,
             serve_workers=args.serve_workers,
             serve_concurrency=args.serve_concurrency,
+            corpus=args.corpus,
+            corpus_count=args.corpus_count,
+            corpus_seed=args.corpus_seed,
+            corpus_shards=args.corpus_shards,
         )
     except LedgerError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -393,6 +413,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"\nwrote {args.out}")
             return 2
         print("serve/CLI equivalence: identical fingerprints and verdicts")
+    corpus_block = data.get("corpus")
+    if corpus_block:
+        print(
+            f"\ncorpus: {corpus_block['count']} apps "
+            f"(seed {corpus_block['seed']}, {corpus_block['cores']} cores)"
+        )
+        corpus_rows = [
+            {
+                "Shards": shards,
+                "Apps/s": f"{block['apps_per_s']:.2f}",
+                "Elapsed (s)": f"{block['elapsed_s']:.1f}",
+                "p50 (s)": f"{block['latency_p50_s']:.2f}",
+                "p99 (s)": f"{block['latency_p99_s']:.2f}",
+                "Steals": block["steals"],
+                "Efficiency": (
+                    f"{block['scaling_efficiency']:.2f}"
+                    if "scaling_efficiency" in block
+                    else "-"
+                ),
+            }
+            for shards, block in sorted(
+                corpus_block["shards"].items(), key=lambda kv: int(kv[0])
+            )
+        ]
+        print(format_table(corpus_rows))
+        truth = corpus_block["ground_truth"]
+        print(
+            f"ground truth: recall {truth['recall']:.3f} "
+            f"precision {truth['precision']:.3f} "
+            f"({truth['found']}/{truth['expected']} injected races found)"
+        )
+        equivalence = corpus_block["equivalence"]
+        if not equivalence["identical"]:
+            print(
+                "bench: sharded corpus results diverge from serial "
+                f"({equivalence['divergences']})",
+                file=sys.stderr,
+            )
+            if args.out:
+                print(f"\nwrote {args.out}")
+            return 2
+        print("sharded/serial equivalence: identical fingerprints and verdicts")
     warm = data.get("warm")
     if warm:
         warm_rows = [
@@ -591,6 +653,8 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
             inject_cache_corrupt=set(args.inject_cache_corrupt or ()),
             progress=progress,
             history=_history_path(args),
+            shards=args.shards,
+            progress_line=args.progress,
         )
     except (ValueError, LedgerError) as exc:
         # same exit code argparse uses for unusable invocations
@@ -608,6 +672,34 @@ def cmd_corpus_analyze(args: argparse.Namespace) -> int:
     if getattr(run, "run_id", None):
         print(f"recorded run {run.run_id} in {run.history_path}", file=sys.stderr)
     return run.exit_code
+
+
+def cmd_corpus_synth(args: argparse.Namespace) -> int:
+    """``repro corpus-synth``: emit a seeded family corpus (names to
+    stdout, ground-truth manifest to ``--out``)."""
+    from repro.corpus.families import corpus_manifest, seeded_corpus
+
+    try:
+        names = seeded_corpus(
+            families=args.families or None,
+            count=args.count,
+            seed=args.seed,
+            max_size=args.max_size,
+        )
+    except ValueError as exc:
+        print(f"corpus-synth: {exc}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(name)
+    if args.out:
+        import json
+
+        manifest = corpus_manifest(names)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out} ({manifest['count']} apps)", file=sys.stderr)
+    return 0
 
 
 def _corpus_analyze_remote(args: argparse.Namespace) -> int:
@@ -943,9 +1035,36 @@ def build_parser() -> argparse.ArgumentParser:
                        "locally; records apps/sec and p50/p99 latency")
     batch.add_argument("--concurrency", type=int, default=4,
                        help="client threads in --target-url mode (default 4)")
+    batch.add_argument("--shards", type=int, default=1,
+                       help="worker-pool width for the sharded scheduler "
+                       "(default 1; per-shard refutation parallelism is "
+                       "core-budgeted to cores//shards)")
+    batch.add_argument("--progress", action="store_true",
+                       help="stream a live done/total + apps/sec + ETA line "
+                       "to stderr")
     add_analysis_flags(batch)
     add_history_flag(batch)
     batch.set_defaults(func=cmd_corpus_analyze)
+
+    synth = sub.add_parser(
+        "corpus-synth",
+        help="generate a seeded app-family corpus: names to stdout, "
+        "ground-truth manifest to --out",
+    )
+    synth.add_argument("--families", nargs="*", default=None,
+                       help="families to draw from (default: all of "
+                       "mesh storm lifecycle looper chain)")
+    synth.add_argument("--count", type=int, default=100,
+                       help="number of apps (default 100)")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="corpus seed; same seed + args = identical corpus")
+    synth.add_argument("--max-size", type=int, default=2,
+                       help="largest size knob to draw (0..4, default 2; "
+                       "each step is ~4x the idiom density)")
+    synth.add_argument("--out", default=None, metavar="PATH",
+                       help="write the machine-readable GroundTruth "
+                       "manifest JSON here")
+    synth.set_defaults(func=cmd_corpus_synth)
 
     bench = sub.add_parser("bench", help="run the perf harness, emit BENCH_pipeline.json")
     bench.add_argument("--apps", nargs="*", default=None,
@@ -976,6 +1095,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--serve-concurrency", type=int, default=4,
                        help="load-generator client threads for --serve "
                        "(default 4)")
+    bench.add_argument("--corpus", action="store_true",
+                       help="also bench the sharded corpus scheduler on a "
+                       "seeded family corpus: apps/sec per shard count, "
+                       "scaling efficiency, ground-truth recall, gating "
+                       "sharded/serial result equivalence (exit 2 on "
+                       "divergence)")
+    bench.add_argument("--corpus-count", type=int, default=100,
+                       help="family corpus size for --corpus (default 100)")
+    bench.add_argument("--corpus-seed", type=int, default=0,
+                       help="family corpus seed for --corpus (default 0)")
+    bench.add_argument("--corpus-shards", type=int, nargs="*", default=None,
+                       help="shard counts to sweep for --corpus "
+                       "(default: 1 2 4 and the core count)")
     add_history_flag(bench)
     bench.set_defaults(func=cmd_bench)
 

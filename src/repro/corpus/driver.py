@@ -123,6 +123,11 @@ class RunReport:
     #: set when the batch recorded into a run-history ledger
     run_id: Optional[str] = None
     history_path: Optional[str] = None
+    #: worker-pool width the batch ran at (1 = serial)
+    shards: int = 1
+    #: per-shard SierraOptions.parallelism after the core budget (None:
+    #: the user's setting rode through unchanged)
+    effective_parallelism: Optional[int] = None
 
     def by_status(self, status: str) -> List[AppRunRecord]:
         return [r for r in self.records if r.status == status]
@@ -152,6 +157,8 @@ class RunReport:
             "options": dict(self.options),
             "run_id": self.run_id,
             "history": self.history_path,
+            "shards": self.shards,
+            "effective_parallelism": self.effective_parallelism,
             "apps": {r.app: r.to_dict() for r in self.records},
             "summary": self.summary(),
         }
@@ -620,15 +627,28 @@ def run_corpus(
     inject_cache_corrupt: Sequence[str] = (),
     progress: Optional[Callable[[AppRunRecord], None]] = None,
     history: Optional[str] = None,
+    shards: int = 1,
+    progress_line: bool = False,
 ) -> RunReport:
     """Run the pipeline over ``apps`` (default: the full corpus).
 
-    One app per forked worker process under ``timeout_s``; a worker crash,
-    analysis exception, or hang is recorded on that app's
-    :class:`AppRunRecord` and the batch moves on. ``isolate=False`` (or a
-    platform without ``fork``) runs apps in-process instead — exceptions
-    are still caught per app, but timeouts are **not enforceable** and a
-    hard crash would take the batch down; the report says which mode ran.
+    Isolated batches run on the sharded work-stealing scheduler
+    (:mod:`repro.corpus.scheduler`): a persistent pool of ``shards``
+    forked workers pulls apps largest-predicted-cost-first, stealing from
+    the busiest shard when idle. Each app still runs under ``timeout_s``;
+    a worker crash, analysis exception, or hang is recorded on that app's
+    :class:`AppRunRecord` (and the shard respawned) while the batch moves
+    on. With ``shards > 1`` the per-worker ``SierraOptions.parallelism``
+    is capped by the core budget (``max(1, cores // shards)``) so the pool
+    cannot oversubscribe the machine; the cap is reported as
+    ``effective_parallelism``. ``isolate=False`` (or a platform without
+    ``fork``) runs apps in-process instead — exceptions are still caught
+    per app, but timeouts are **not enforceable** and a hard crash would
+    take the batch down; the report says which mode ran.
+
+    ``progress_line=True`` streams a live done/total + apps/sec + ETA
+    line to stderr (distinct from the ``progress`` callback, which fires
+    per completed record in completion order).
 
     ``inject_fail`` / ``inject_hang`` name apps whose worker raises /
     sleeps past the budget before analysis — the fault-injection hooks the
@@ -682,7 +702,12 @@ def run_corpus(
         ledger = RunLedger(history)
 
     run = RunReport(
-        timeout_s=timeout_s, isolated=mp_context is not None, options=options_dict
+        timeout_s=timeout_s,
+        isolated=mp_context is not None,
+        options=options_dict,
+        shards=(
+            max(1, min(int(shards), len(names))) if mp_context is not None else 1
+        ),
     )
     try:
         if ledger is not None:
@@ -693,39 +718,89 @@ def run_corpus(
         obs_log.event(
             _log, "corpus.start", apps=len(names),
             isolated=mp_context is not None, run_id=run.run_id,
+            shards=run.shards,
         )
         t0 = time.perf_counter()
-        for name in names:
-            fail = name in inject_fail
-            hang = hang_s if name in inject_hang else 0.0
-            corrupt = name in inject_cache_corrupt
-            obs_log.event(_log, "app.start", app=name, run_id=run.run_id)
-            if mp_context is not None:
-                record = _run_one_isolated(
-                    mp_context, name, options_dict, timeout_s, fail, hang, corrupt
-                )
-            else:
-                record = _run_one_inline(name, options_dict, fail, hang, corrupt)
-            obs_log.event(
-                _log, "app.finish",
-                level=logging.INFO if record.ok else logging.WARNING,
-                app=name, run_id=run.run_id, status=record.status,
-                elapsed_s=round(record.elapsed_s, 4),
-                error_type=record.error.get("type") if record.error else None,
+
+        def ledger_app(record: AppRunRecord) -> None:
+            ledger.record_app(
+                run.run_id,
+                record.app,
+                status=record.status,
+                elapsed_s=record.elapsed_s,
+                stages=record.stages,
+                metrics=record.metrics,
+                races=record.races,
             )
-            run.records.append(record)
-            if ledger is not None:
-                ledger.record_app(
-                    run.run_id,
-                    name,
-                    status=record.status,
-                    elapsed_s=record.elapsed_s,
-                    stages=record.stages,
-                    metrics=record.metrics,
-                    races=record.races,
+
+        if mp_context is not None:
+            from repro.corpus import scheduler as sched
+            from repro.corpus.families import estimate_cost
+
+            requested = int(options_dict.get("parallelism") or 1)
+            effective_options = options_dict
+            if run.shards > 1:
+                budget = sched.core_budget(run.shards, requested)
+                if budget != requested:
+                    effective_options = dict(options_dict, parallelism=budget)
+                run.effective_parallelism = budget
+            items = [
+                sched.WorkItem(
+                    index=i,
+                    name=name,
+                    cost=estimate_cost(name),
+                    inject_fail=name in inject_fail,
+                    inject_hang_s=hang_s if name in inject_hang else 0.0,
+                    inject_cache_corrupt=name in inject_cache_corrupt,
                 )
-            if progress is not None:
-                progress(record)
+                for i, name in enumerate(names)
+            ]
+            line = (
+                sched.ProgressLine(len(items), sum(it.cost for it in items))
+                if progress_line
+                else None
+            )
+
+            def flush(batch: List[AppRunRecord]) -> None:
+                """Stream a burst of finished apps out, in completion
+                order: one ledger transaction per burst, then the
+                caller's per-record progress callback."""
+                if ledger is not None:
+                    with ledger.batch():
+                        for record in batch:
+                            ledger_app(record)
+                if progress is not None:
+                    for record in batch:
+                        progress(record)
+
+            run.records = sched.run_sharded(
+                mp_context,
+                items,
+                effective_options,
+                shards=run.shards,
+                timeout_s=timeout_s,
+                on_batch=flush,
+                progress=line,
+            )
+        else:
+            for name in names:
+                fail = name in inject_fail
+                hang = hang_s if name in inject_hang else 0.0
+                corrupt = name in inject_cache_corrupt
+                obs_log.event(_log, "app.start", app=name, run_id=run.run_id)
+                record = _run_one_inline(name, options_dict, fail, hang, corrupt)
+                obs_log.event(
+                    _log, "app.finish",
+                    level=logging.INFO if record.ok else logging.WARNING,
+                    app=name, run_id=run.run_id, status=record.status,
+                    elapsed_s=round(record.elapsed_s, 4),
+                    error_type=record.error.get("type") if record.error else None,
+                )
+                run.records.append(record)
+                if ledger is not None:
+                    ledger_app(record)
+                if progress is not None:
+                    progress(record)
         run.elapsed_s = time.perf_counter() - t0
         obs_log.event(_log, "corpus.finish", run_id=run.run_id, **run.summary())
         if ledger is not None:

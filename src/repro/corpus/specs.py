@@ -117,8 +117,52 @@ class SynthSpec:
     services: int
     uistop: int = 0  # GUI-vs-onStop pairs SIERRA orders but EventRacer reports
     extra_gui: int = 0  # benign no-op handlers padding the action count
+    binding: int = 0  # bindService meshes: onServiceConnected vs GUI handler
+    looper: int = 0  # multi-Looper affinity: HandlerThread post vs GUI write
+    chains: int = 0  # deep AsyncTask chains ending in a racy write
+    chain_depth: int = 3  # tasks per chain (depth of the relay)
     installs: str = "N/A"
     category: str = "synthetic"
+
+
+#: rough action-count contribution of each idiom instance — the corpus
+#: scheduler's binpacking cost model (``estimated_actions``). The absolute
+#: values matter less than the *ratios*: they only have to rank apps by
+#: analysis cost well enough that largest-first scheduling front-loads the
+#: expensive ones.
+_IDIOM_ACTION_WEIGHTS: Dict[str, float] = {
+    "evrace": 2.0,  # two GUI handlers
+    "bgrace": 4.0,  # click listener + doInBackground + onPostExecute + reader
+    "guard": 2.0,  # posted runnable (+ lifecycle bodies already counted)
+    "nullguard": 1.0,  # one posted runnable
+    "ordered": 2.0,  # two FIFO posts
+    "factory": 1.0,  # shares three handlers per activity (counted once-ish)
+    "implicit": 2.0,  # loader thread + ready handler
+    "receivers": 1.0,  # onReceive
+    "services": 2.0,  # onStartCommand + reader handler
+    "uistop": 1.0,
+    "extra_gui": 1.0,
+    "binding": 3.0,  # onServiceConnected/-Disconnected + reader handler
+    "looper": 2.0,  # background-looper post + GUI writer
+}
+
+#: lifecycle callbacks every activity contributes (onCreate..onDestroy)
+_ACTIVITY_BASE_ACTIONS = 5.0
+
+
+def estimated_actions(spec: SynthSpec) -> float:
+    """Predicted action count of ``spec`` — **without synthesizing it**.
+
+    The sharded corpus scheduler sizes its bins with this (largest-first
+    binpacking), so it must be cheap: arithmetic over the density fields
+    only. Chains scale with their depth (each relay task is two more
+    callbacks); everything else is a per-instance weight.
+    """
+    total = _ACTIVITY_BASE_ACTIONS * max(1, spec.activities)
+    for field_name, weight in _IDIOM_ACTION_WEIGHTS.items():
+        total += weight * float(getattr(spec, field_name, 0) or 0)
+    total += 2.0 * float(spec.chains) * max(1, spec.chain_depth)
+    return total
 
 
 def _scale(value: float, minimum: int = 0) -> int:

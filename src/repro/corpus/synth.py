@@ -26,6 +26,14 @@ Idiom catalogue (field prefix → expected outcome):
 ``rxdata_``    receiver vs. lifecycle (Figure 2) → **true event race**
 ``rxptr_``     receiver pointer vs. onDestroy null → **true pointer race**
 ``svcdata_``   service vs. activity handler → **true event race**
+``bindrace_``  onServiceConnected vs. GUI handler (bindService mesh) →
+               **true event race**
+``lprace_``    background-Looper post vs. GUI write (HandlerThread
+               affinity) → **true data race**
+``lpseq_``     two FIFO posts to the *same* background Looper → rule 4/6
+               ordered on that Looper, **no report expected**
+``chain_``     tail of a deep AsyncTask onPostExecute relay vs. GUI
+               handler → **true event race**
 =============  ==============================================================
 """
 
@@ -58,6 +66,10 @@ GROUND_TRUTH_PREFIXES: Dict[str, str] = {
     "rxdata_": "true-event",
     "rxptr_": "true-event",
     "svcdata_": "true-event",
+    "bindrace_": "true-event",
+    "lprace_": "true-data",
+    "lpseq_": "ordered",
+    "chain_": "true-event",
     # GUI handler vs onStop: SIERRA's GUI model (rule 3b) orders these — a
     # stopped activity receives no input — but EventRacer's weaker dynamic
     # HB reports them: the "15 races SIERRA ruled out" of §6.4.
@@ -94,12 +106,35 @@ class GroundTruth:
 
     app: str
     seeded: Dict[str, int] = field(default_factory=dict)  # category -> count
+    fields: Dict[str, str] = field(default_factory=dict)  # field -> category
 
-    def note(self, category: str) -> None:
+    def note(self, category: str, field_name: Optional[str] = None) -> None:
         self.seeded[category] = self.seeded.get(category, 0) + 1
+        if field_name is not None:
+            self.fields[field_name] = category
 
     def expected_true_fields(self) -> int:
         return sum(n for cat, n in self.seeded.items() if cat in TRUE_CATEGORIES)
+
+    def true_fields(self) -> frozenset:
+        """Exact field names whose races the detector must report."""
+        return frozenset(
+            name for name, cat in self.fields.items() if cat in TRUE_CATEGORIES
+        )
+
+    def eliminated_fields(self) -> frozenset:
+        """Field names a correct run must *not* report (refuted/ordered)."""
+        return frozenset(
+            name for name, cat in self.fields.items() if cat in ELIMINATED_CATEGORIES
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "seeded": dict(self.seeded),
+            "fields": dict(self.fields),
+            "true_fields": sorted(self.true_fields()),
+        }
 
 
 class AppSynthesizer:
@@ -155,7 +190,7 @@ class AppSynthesizer:
         cls.field(cfg, INT)
         ctx.on_create.const(f"c{index}", 0)
         ctx.on_create.store("this", cfg, f"c{index}")
-        self.truth.note("ordered")
+        self.truth.note("ordered", cfg)
         ctx.cfg_field = cfg
         return ctx
 
@@ -178,6 +213,9 @@ class AppSynthesizer:
         spread(spec.services, self._emit_service)
         spread(getattr(spec, "uistop", 0), self._emit_uistop)
         spread(getattr(spec, "extra_gui", 0), self._emit_extra_gui)
+        spread(getattr(spec, "binding", 0), self._emit_binding)
+        spread(getattr(spec, "looper", 0), self._emit_looper)
+        spread(getattr(spec, "chains", 0), self._emit_chain)
 
     def next_view_id(self) -> int:
         self._view_id += 1
@@ -200,7 +238,7 @@ class AppSynthesizer:
         reader.const("two", 2)
         reader.store("this", fname, "two")
         reader.ret()
-        self.truth.note("true-event")
+        self.truth.note("true-event", fname)
 
     def _emit_bgrace(self, ctx: "_ActivityCtx", j: int) -> None:
         bg_field = f"bgdata_{ctx.index}_{j}"
@@ -244,8 +282,8 @@ class AppSynthesizer:
         reader.load("x", "this", bg_field)
         reader.load("y", "this", post_field)
         reader.ret()
-        self.truth.note("true-data")
-        self.truth.note("true-event")
+        self.truth.note("true-data", bg_field)
+        self.truth.note("true-event", post_field)
 
     def _emit_guard(self, ctx: "_ActivityCtx", j: int) -> None:
         flag = f"gflag_{ctx.index}_{j}"
@@ -286,9 +324,9 @@ class AppSynthesizer:
         opa.store("this", cell, f"pv{j}")
         opa.store("this", cell2, f"pv{j}")
         opa.label(f"pdone{j}").nop()
-        self.truth.note("true-benign-guard")
-        self.truth.note("refutable")
-        self.truth.note("refutable")
+        self.truth.note("true-benign-guard", flag)
+        self.truth.note("refutable", cell)
+        self.truth.note("refutable", cell2)
 
     def _emit_nullguard(self, ctx: "_ActivityCtx", j: int) -> None:
         """Use-after-free behind a null check. The reader must be a *posted*
@@ -326,8 +364,8 @@ class AppSynthesizer:
         od.store(f"dp{j}", data, f"dz{j}")
         od.label(f"dskip{j}").const(f"nul{j}", None)
         od.store("this", ref, f"nul{j}")
-        self.truth.note("true-benign-guard")
-        self.truth.note("refutable")
+        self.truth.note("true-benign-guard", ref)
+        self.truth.note("refutable", data)
 
     def _emit_ordered_posts(self, ctx: "_ActivityCtx", j: int) -> None:
         cell = f"opost_{ctx.index}_{j}"
@@ -352,7 +390,7 @@ class AppSynthesizer:
             oc.new(var, rname)
             oc.store(var, "owner", "this")
             oc.call(f"oh{j}", "post", var)
-        self.truth.note("ordered")
+        self.truth.note("ordered", cell)
 
     def _emit_factory(self, ctx: "_ActivityCtx", j: int) -> None:
         holder_name = f"{self.pkg}.lib.FHolder{ctx.index}_{j}"
@@ -380,7 +418,7 @@ class AppSynthesizer:
             handler.const(f"v{j}", part)
             handler.store(f"h{j}", cell, f"v{j}")
             handler.load(f"w{j}", f"h{j}", cell)
-        self.truth.note("factory")
+        self.truth.note("factory", cell)
 
     def _emit_implicit(self, ctx: "_ActivityCtx", j: int) -> None:
         cell = f"loaded_{ctx.index}_{j}"
@@ -400,7 +438,7 @@ class AppSynthesizer:
         handler = ctx.add_handler(f"hReady{j}")
         handler.load("v", "this", cell)  # implicitly after the load finishes
         handler.ret()
-        self.truth.note("fp-implicit")
+        self.truth.note("fp-implicit", cell)
 
     def _emit_receiver(self, ctx: "_ActivityCtx", j: int) -> None:
         data = f"rxdata_{ctx.index}_{j}"
@@ -435,8 +473,8 @@ class AppSynthesizer:
         od.call("this", "unregisterReceiver", f"urx{j}")
         od.const(f"rnul{j}", None)
         od.store("this", ptr, f"rnul{j}")
-        self.truth.note("true-event")
-        self.truth.note("true-event")
+        self.truth.note("true-event", data)
+        self.truth.note("true-event", ptr)
 
     def _emit_uistop(self, ctx: "_ActivityCtx", j: int) -> None:
         """GUI handler vs onStop on one cell: SIERRA orders them (rule 3b,
@@ -452,7 +490,7 @@ class AppSynthesizer:
         os_.load(f"us{j}", "this", cell)
         os_.const(f"uz{j}", 0)
         os_.store("this", cell, f"uz{j}")
-        self.truth.note("ordered")
+        self.truth.note("ordered", cell)
 
     def _emit_extra_gui(self, ctx: "_ActivityCtx", j: int) -> None:
         """A benign handler: pads the action count without adding races
@@ -478,7 +516,118 @@ class AppSynthesizer:
         handler = ctx.add_handler(f"hSvc{j}")
         handler.sload("v", svc_name, cell)
         handler.ret()
-        self.truth.note("true-event")
+        self.truth.note("true-event", cell)
+
+    def _emit_binding(self, ctx: "_ActivityCtx", j: int) -> None:
+        """Service-binding mesh: ``bindService`` registers a
+        ``ServiceConnection`` whose ``onServiceConnected`` is a SYSTEM
+        callback — unordered against GUI input, so its write to the bound
+        service's state races with the activity's handler."""
+        cell = f"bindrace_{ctx.index}_{j}"
+        svc_name = f"{self.pkg}.Bound{ctx.index}_{j}"
+        svc = self.pb.new_class(svc_name, superclass="android.app.Service")
+        svc.cls.add_field(cell, INT, is_static=True)
+        conn_name = f"{self.pkg}.Conn{ctx.index}_{j}"
+        conn = self.pb.new_class(
+            conn_name, interfaces=("android.content.ServiceConnection",)
+        )
+        on_conn = conn.method("onServiceConnected")
+        on_conn.const("v", 6)
+        on_conn.sstore(svc_name, cell, "v")
+        on_conn.ret()
+        conn.method("onServiceDisconnected").ret()
+        oc = ctx.on_create
+        oc.new(f"cn{j}", conn_name)
+        oc.const(f"ni{j}", None)
+        oc.call("this", "bindService", f"ni{j}", f"cn{j}")
+        handler = ctx.add_handler(f"hBound{j}")
+        handler.sload("v", svc_name, cell)
+        handler.const("w", 7)
+        handler.sstore(svc_name, cell, "w")
+        handler.ret()
+        self.truth.note("true-event", cell)
+
+    def _emit_looper(self, ctx: "_ActivityCtx", j: int) -> None:
+        """Multi-Looper affinity: a runnable posted to a HandlerThread's
+        Looper runs off the main thread, so its write races with a GUI
+        handler (``lprace_``); two posts to the *same* background Looper
+        stay FIFO-ordered by rules 4/6 (``lpseq_``, no report)."""
+        racy = f"lprace_{ctx.index}_{j}"
+        seq = f"lpseq_{ctx.index}_{j}"
+        ctx.cls.field(racy, INT)
+        ctx.cls.field(seq, INT)
+        worker_name = f"{self.pkg}.BgWork{ctx.index}_{j}"
+        worker = self.pb.new_class(worker_name, interfaces=("java.lang.Runnable",))
+        worker.field("owner", ctx.cls.name)
+        run = worker.method("run")
+        run.load("o", "this", "owner")
+        run.const("v", 11)
+        run.store("o", racy, "v")
+        run.store("o", seq, "v")
+        run.ret()
+        worker2_name = f"{self.pkg}.BgWork{ctx.index}_{j}b"
+        worker2 = self.pb.new_class(worker2_name, interfaces=("java.lang.Runnable",))
+        worker2.field("owner", ctx.cls.name)
+        run2 = worker2.method("run")
+        run2.load("o", "this", "owner")
+        run2.const("v", 12)
+        run2.store("o", seq, "v")
+        run2.ret()
+        oc = ctx.on_create
+        oc.new(f"ht{j}", "android.os.HandlerThread")
+        oc.call(f"ht{j}", "start")
+        oc.call(f"ht{j}", "getLooper", dst=f"bl{j}")
+        oc.new(f"bh{j}", "android.os.Handler")
+        oc.call_special(f"bh{j}", "android.os.Handler.<init>", f"bl{j}")
+        for part, rname in enumerate((worker_name, worker2_name)):
+            var = f"bw{j}_{part}"
+            oc.new(var, rname)
+            oc.store(var, "owner", "this")
+            oc.call(f"bh{j}", "post", var)
+        handler = ctx.add_handler(f"hLooper{j}")
+        handler.load("v", "this", racy)
+        handler.const("w", 13)
+        handler.store("this", racy, "w")
+        handler.ret()
+        self.truth.note("true-data", racy)
+        self.truth.note("ordered", seq)
+
+    def _emit_chain(self, ctx: "_ActivityCtx", j: int) -> None:
+        """Deep AsyncTask relay: onPostExecute(d) launches task d+1; only
+        the tail writes the shared cell, which a GUI handler also touches.
+        Depth stresses transitive HB closure and the callgraph."""
+        depth = max(1, getattr(self.spec, "chain_depth", 3))
+        cell = f"chain_{ctx.index}_{j}"
+        ctx.cls.field(cell, INT)
+        task_names = [
+            f"{self.pkg}.Chain{ctx.index}_{j}_{d}" for d in range(depth)
+        ]
+        for d, task_name in enumerate(task_names):
+            task = self.pb.new_class(task_name, superclass="android.os.AsyncTask")
+            task.field("act", ctx.cls.name)
+            bg = task.method("doInBackground")
+            bg.const("r", d)
+            bg.ret("r")
+            post = task.method("onPostExecute")
+            post.load("a", "this", "act")
+            if d + 1 < depth:
+                post.new("nx", task_names[d + 1])
+                post.store("nx", "act", "a")
+                post.call("nx", "execute")
+            else:
+                post.const("tv", 21)
+                post.store("a", cell, "tv")
+            post.ret()
+        oc = ctx.on_create
+        oc.new(f"ch{j}", task_names[0])
+        oc.store(f"ch{j}", "act", "this")
+        oc.call(f"ch{j}", "execute")
+        handler = ctx.add_handler(f"hChain{j}")
+        handler.load("v", "this", cell)
+        handler.const("w", 22)
+        handler.store("this", cell, "w")
+        handler.ret()
+        self.truth.note("true-event", cell)
 
 
 @dataclass

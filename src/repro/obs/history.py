@@ -212,6 +212,7 @@ class RunLedger:
         # internally thread-safe, so every use goes through this lock
         # (reentrant — record_analysis calls record_app)
         self._lock = threading.RLock()
+        self._batch_depth = 0
         try:
             self._db = connect_ledger(path, timeout_s)
             self._db.executescript(_TABLES)
@@ -225,8 +226,12 @@ class RunLedger:
         process's threads by the lock, against other processes by
         ``BEGIN IMMEDIATE`` + the busy timeout. Rows of one append land
         together or not at all — a concurrent reader never sees an app
-        row whose race rows are still in flight."""
+        row whose race rows are still in flight. Inside a :meth:`batch`
+        the enclosing transaction is reused instead of opening a new one."""
         with self._lock:
+            if self._batch_depth:
+                yield self._db
+                return
             self._db.execute("BEGIN IMMEDIATE")
             try:
                 yield self._db
@@ -235,6 +240,35 @@ class RunLedger:
                 raise
             else:
                 self._db.execute("COMMIT")
+
+    @contextmanager
+    def batch(self):
+        """Coalesce every append inside the block into ONE transaction.
+
+        The sharded corpus scheduler flushes a burst of completed apps per
+        wake-up; one fsync for the burst instead of one per app. Reentrant
+        (nested batches join the outermost transaction). The lock is held
+        for the duration, so keep blocks short — append calls only.
+        """
+        with self._lock:
+            if self._batch_depth:
+                self._batch_depth += 1
+                try:
+                    yield self
+                finally:
+                    self._batch_depth -= 1
+                return
+            self._db.execute("BEGIN IMMEDIATE")
+            self._batch_depth = 1
+            try:
+                yield self
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+            else:
+                self._db.execute("COMMIT")
+            finally:
+                self._batch_depth = 0
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

@@ -74,6 +74,9 @@ class Gauge:
     def inc(self, amount: Number = 1) -> None:
         self._value += amount
 
+    def dec(self, amount: Number = 1) -> None:
+        self._value -= amount
+
     @property
     def value(self) -> Number:
         return self._value
@@ -88,6 +91,10 @@ class Gauge:
 #: default histogram buckets: geometric, covering 1 .. ~10^6 (node counts,
 #: path lengths); callers with different dynamic ranges pass their own
 DEFAULT_BUCKETS = (1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000, 1000000)
+
+#: seconds-scale buckets for wall-clock latency histograms (serve job
+#: latency, corpus per-app seconds): 10ms .. 2min
+TIME_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120)
 
 
 class Histogram:

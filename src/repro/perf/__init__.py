@@ -13,6 +13,7 @@ from repro.perf.bench import (
     collect_stage_timings,
     compare_to_baseline,
     run_bench,
+    run_corpus_bench,
     run_serve_bench,
     run_warm_bench,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "collect_stage_timings",
     "compare_to_baseline",
     "run_bench",
+    "run_corpus_bench",
     "run_serve_bench",
     "run_warm_bench",
 ]

@@ -473,6 +473,136 @@ def run_serve_bench(
 
 
 # ----------------------------------------------------------------------
+# corpus throughput + recall bench
+# ----------------------------------------------------------------------
+def run_corpus_bench(
+    count: int = 100,
+    seed: int = 0,
+    shard_counts: Optional[Sequence[int]] = None,
+    families: Optional[Sequence[str]] = None,
+    max_size: int = 2,
+    timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Bench the sharded corpus scheduler on a seeded family corpus.
+
+    One seeded corpus (:func:`repro.corpus.families.seeded_corpus`), run
+    once per shard count. Three verdicts come out:
+
+    * **throughput** — apps/sec, p50/p99 per-app latency, and scaling
+      efficiency (speedup over 1 shard divided by shard count) per width;
+    * **equivalence** — every sharded run's per-app (fingerprint, verdict)
+      sets must be identical to the 1-shard run's: the scheduler may only
+      reorder work, never change results;
+    * **ground truth** — the 1-shard run's detected race fields scored
+      against each app's injected :class:`GroundTruth` manifest
+      (micro-averaged recall/precision), which the regression gate in
+      ``benchmarks/run_bench.py --corpus`` tracks across commits.
+    """
+    from repro.corpus.driver import run_corpus
+    from repro.corpus.families import (
+        FAMILY_NAMES,
+        aggregate_scores,
+        family_ground_truth,
+        score_detection,
+        seeded_corpus,
+    )
+    from repro.corpus.scheduler import available_cores
+    from repro.obs import metrics
+    from repro.serve import percentile
+
+    names = seeded_corpus(
+        families=families, count=count, seed=seed, max_size=max_size
+    )
+    cores = available_cores()
+    if shard_counts is None:
+        shard_counts = sorted({1, 2, 4, cores})
+    if 1 not in shard_counts:
+        shard_counts = [1] + sorted(shard_counts)
+    truths = {name: family_ground_truth(name) for name in names}
+
+    def run_once(shards: int):
+        steals_before = metrics.registry().value("corpus.steals")
+        report = run_corpus(
+            names,
+            options=SierraOptions(),
+            timeout_s=timeout_s,
+            out_path=None,
+            shards=shards,
+        )
+        latencies = [r.elapsed_s for r in report.records]
+        summary = report.summary()
+        block = {
+            "elapsed_s": round(report.elapsed_s, 4),
+            "apps_per_s": (
+                round(len(names) / report.elapsed_s, 3) if report.elapsed_s else 0.0
+            ),
+            "latency_p50_s": round(percentile(latencies, 50), 4),
+            "latency_p99_s": round(percentile(latencies, 99), 4),
+            "ok": summary["ok"],
+            "degraded": summary["degraded"],
+            "error": summary["error"],
+            "timeout": summary["timeout"],
+            "steals": int(
+                metrics.registry().value("corpus.steals") - steals_before
+            ),
+            "effective_parallelism": report.effective_parallelism,
+        }
+        outcomes = {
+            r.app: (
+                r.status,
+                frozenset(
+                    (row["fingerprint"], row["verdict"]) for row in r.races
+                ),
+            )
+            for r in report.records
+        }
+        return report, block, outcomes
+
+    shard_blocks: Dict[str, Dict[str, object]] = {}
+    divergences: List[str] = []
+    baseline_report = baseline_outcomes = None
+    baseline_rate = 0.0
+    for shards in shard_counts:
+        report, block, outcomes = run_once(shards)
+        if shards == 1:
+            baseline_report, baseline_outcomes = report, outcomes
+            baseline_rate = block["apps_per_s"]
+        else:
+            block["speedup"] = (
+                round(block["apps_per_s"] / baseline_rate, 3)
+                if baseline_rate
+                else 0.0
+            )
+            block["scaling_efficiency"] = round(block["speedup"] / shards, 3)
+            for app in names:
+                if outcomes[app] != baseline_outcomes[app]:
+                    divergences.append(f"{app} @ {shards} shards")
+        shard_blocks[str(shards)] = block
+
+    scores = []
+    for record in baseline_report.records:
+        detected = [row["field"] for row in record.races]
+        scores.append(score_detection(truths[record.app], detected))
+    truth_block = aggregate_scores(scores)
+    truth_block["apps_with_misses"] = sum(1 for s in scores if s["missed"])
+
+    return {
+        "count": len(names),
+        "seed": seed,
+        "families": list(families) if families else list(FAMILY_NAMES),
+        "max_size": max_size,
+        "cores": cores,
+        "timeout_s": timeout_s,
+        "shards": shard_blocks,
+        "equivalence": {
+            "identical": not divergences,
+            "divergences": "; ".join(divergences),
+        },
+        "ground_truth": truth_block,
+    }
+
+
+# ----------------------------------------------------------------------
 # driver + regression gate
 # ----------------------------------------------------------------------
 def run_bench(
@@ -486,6 +616,11 @@ def run_bench(
     serve: bool = False,
     serve_workers: int = 2,
     serve_concurrency: int = 4,
+    corpus: bool = False,
+    corpus_count: int = 100,
+    corpus_seed: int = 0,
+    corpus_shards: Optional[Sequence[int]] = None,
+    corpus_max_size: int = 2,
 ) -> Dict[str, object]:
     """Run the full bench suite; write and return the BENCH record.
 
@@ -504,6 +639,12 @@ def run_bench(
     in-process daemon under load — and attaches throughput (apps/sec),
     client latency percentiles (p50/p99) and the serve/CLI equivalence
     verdict under ``"serve"``.
+
+    ``corpus=True`` additionally runs :func:`run_corpus_bench` — a seeded
+    family corpus through the sharded scheduler at several widths — and
+    attaches apps/sec per shard count, scaling efficiency, sharded-vs-
+    serial equivalence and ground-truth recall/precision under
+    ``"corpus"``.
     """
     if warm and not cache_dir:
         raise ValueError("warm bench requires a cache directory")
@@ -551,6 +692,13 @@ def run_bench(
             workers=serve_workers,
             concurrency=serve_concurrency,
             cache_dir=cache_dir,
+        )
+    if corpus:
+        data["corpus"] = run_corpus_bench(
+            count=corpus_count,
+            seed=corpus_seed,
+            shard_counts=corpus_shards,
+            max_size=corpus_max_size,
         )
     if ledger is not None:
         try:

@@ -53,8 +53,9 @@ ALLOWED_JOB_OPTIONS = ANALYSIS_JOB_OPTIONS | INJECT_JOB_OPTIONS
 #: the corpus driver)
 _SERVED_STATUSES = ("ok", "degraded")
 
-#: request/job latency buckets, in seconds
-LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120)
+#: request/job latency buckets, in seconds (back-compat alias; the
+#: canonical definition lives with the other bucket presets)
+LATENCY_BUCKETS = metrics.TIME_BUCKETS
 
 
 def merge_job_options(

@@ -1,0 +1,137 @@
+"""Seeded app families: determinism, ground truth, recall on injected races."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.corpus.families import (
+    FAMILY_NAMES,
+    MAX_SIZE,
+    corpus_manifest,
+    estimate_cost,
+    family_app_name,
+    family_ground_truth,
+    family_spec,
+    parse_family_name,
+    score_detection,
+    seeded_corpus,
+    synthesize_family_app,
+)
+from repro.corpus.synth import ELIMINATED_CATEGORIES, TRUE_CATEGORIES
+
+
+def _detected_fields(name):
+    from repro.core import Sierra, SierraOptions
+
+    apk, _ = synthesize_family_app(name)
+    result = Sierra(SierraOptions()).analyze(apk)
+    return {report.field_name for report in result.report.reports}
+
+
+class TestGroundTruthRecall:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_small_member_recall_is_one(self, family):
+        """Every injected race in a size-0 member must be detected — the
+        recall denominator the bench gate tracks is only meaningful if a
+        healthy detector scores 1.0 on it."""
+        name = family_app_name(family, size=0, seed=7)
+        truth = family_ground_truth(name)
+        expected = truth.true_fields()
+        assert expected, f"family {family!r} injects no true races"
+        detected = _detected_fields(name)
+        score = score_detection(truth, detected)
+        assert score["recall"] == 1.0
+        assert score["missed"] == []
+        # refuted/ordered/factory plants must not leak through either
+        assert score["leaked_eliminated"] == []
+
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_manifest_categories_are_known(self, family):
+        truth = family_ground_truth(family_app_name(family, 1, 3))
+        for field, category in truth.fields.items():
+            assert category in TRUE_CATEGORIES | ELIMINATED_CATEGORIES | {
+                "fp-implicit"
+            }, (field, category)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_same_seed_same_spec(self, family):
+        a = family_spec(family, size=1, seed=42)
+        b = family_spec(family, size=1, seed=42)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_same_seed_byte_identical_app(self):
+        name = family_app_name("mesh", 0, 11)
+        apk_a, truth_a = synthesize_family_app(name)
+        apk_b, truth_b = synthesize_family_app(name)
+        assert sorted(apk_a.program.classes) == sorted(apk_b.program.classes)
+        assert truth_a.to_dict() == truth_b.to_dict()
+
+    def test_seeded_corpus_is_reproducible(self):
+        a = seeded_corpus(count=40, seed=5)
+        b = seeded_corpus(count=40, seed=5)
+        assert a == b
+        assert len(a) == 40
+        # round-robin keeps all families represented
+        families = {parse_family_name(n)[0] for n in a}
+        assert families == set(FAMILY_NAMES)
+
+    def test_different_seed_different_members(self):
+        assert seeded_corpus(count=10, seed=1) != seeded_corpus(count=10, seed=2)
+
+
+class TestNaming:
+    def test_round_trip(self):
+        name = family_app_name("looper", 2, 99)
+        assert name == "family:looper:2:99"
+        assert parse_family_name(name) == ("looper", 2, 99)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "family:nope:0:0",          # unknown family
+            "family:mesh:9:0",          # size out of range
+            "family:mesh:0",            # missing seed
+            "family:mesh:x:0",          # non-int size
+            "quickstart",               # not a family name at all
+        ],
+    )
+    def test_bad_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_family_name(bad)
+
+    def test_unknown_family_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            family_spec("nope")
+        with pytest.raises(ValueError, match="size"):
+            family_spec("mesh", size=MAX_SIZE + 1)
+
+
+class TestManifestAndCost:
+    def test_manifest_schema(self):
+        names = seeded_corpus(count=5, seed=0, max_size=1)
+        manifest = corpus_manifest(names)
+        assert manifest["schema"] == 1
+        assert manifest["count"] == 5
+        assert set(manifest["apps"]) == set(names)
+        for entry in manifest["apps"].values():
+            assert set(entry) >= {"app", "seeded", "fields", "true_fields"}
+            assert set(entry["true_fields"]) <= set(entry["fields"])
+
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_cost_grows_with_size(self, family):
+        costs = [
+            estimate_cost(family_app_name(family, size, 0))
+            for size in range(MAX_SIZE + 1)
+        ]
+        assert costs == sorted(costs)
+        # the size knob really spans orders of magnitude
+        assert costs[-1] > 50 * costs[0]
+
+    def test_cost_covers_every_corpus_shape(self):
+        assert estimate_cost("paper:apv") > 0
+        assert estimate_cost("fdroid:0") > 0
+        assert estimate_cost("quickstart") > 0

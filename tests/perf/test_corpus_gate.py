@@ -1,0 +1,102 @@
+"""The sharded-corpus bench block and its regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import run_corpus_bench
+
+_GATE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("corpus_gate_mod", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_block():
+    """One real corpus bench, shared by every test in the module."""
+    return run_corpus_bench(count=6, seed=3, shard_counts=[1, 2], timeout_s=60.0)
+
+
+@pytest.mark.corpus_smoke
+class TestCorpusBenchBlock:
+    def test_block_shape(self, tiny_block):
+        assert tiny_block["count"] == 6
+        assert set(tiny_block["shards"]) == {"1", "2"}
+        for block in tiny_block["shards"].values():
+            assert block["apps_per_s"] > 0
+            assert block["ok"] == 6
+            assert block["error"] == block["timeout"] == 0
+            assert block["latency_p99_s"] >= block["latency_p50_s"]
+        assert "speedup" in tiny_block["shards"]["2"]
+        assert "scaling_efficiency" in tiny_block["shards"]["2"]
+
+    def test_sharded_equals_serial(self, tiny_block):
+        assert tiny_block["equivalence"]["identical"] is True
+
+    def test_recall_on_injected_races_is_perfect(self, tiny_block):
+        truth = tiny_block["ground_truth"]
+        assert truth["recall"] == 1.0
+        assert truth["apps_with_misses"] == 0
+        assert truth["expected"] > 0
+
+    def test_block_is_json_serializable(self, tiny_block):
+        json.dumps(tiny_block)
+
+
+def _baseline_file(tmp_path, block):
+    path = tmp_path / "BENCH_pipeline.json"
+    path.write_text(json.dumps({"apps": {}, "corpus": block}))
+    return path
+
+
+class TestCorpusGate:
+    def test_missing_corpus_block_is_exit_two(self, gate, tmp_path, capsys):
+        path = tmp_path / "no_corpus.json"
+        path.write_text(json.dumps({"apps": {}}))
+        assert gate.main(["--corpus", "--baseline", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "no corpus block" in err and "--corpus --update" in err
+
+    def test_healthy_rerun_passes(self, gate, tmp_path, tiny_block, capsys):
+        # floor the recorded throughput: a 6-app micro-run's apps/sec is
+        # not reproducible on a loaded CI box, and this test is about the
+        # correctness gates (recall + equivalence), not the threshold —
+        # test_throughput_collapse_is_exit_one covers that branch
+        doctored = json.loads(json.dumps(tiny_block))
+        for block in doctored["shards"].values():
+            block["apps_per_s"] = 0.001
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--corpus", "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok: recall held" in out
+
+    def test_recall_below_baseline_is_exit_two(
+        self, gate, tmp_path, tiny_block, capsys
+    ):
+        # a doctored recall the re-run can never reach: the healthy 1.0
+        # must read as a regression against it
+        doctored = json.loads(json.dumps(tiny_block))
+        doctored["ground_truth"]["recall"] = 1.5
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--corpus", "--baseline", str(path)]) == 2
+        assert "RECALL REGRESSION" in capsys.readouterr().err
+
+    def test_throughput_collapse_is_exit_one(
+        self, gate, tmp_path, tiny_block, capsys
+    ):
+        doctored = json.loads(json.dumps(tiny_block))
+        for block in doctored["shards"].values():
+            block["apps_per_s"] = 1e9
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--corpus", "--baseline", str(path)]) == 1
+        assert "THROUGHPUT REGRESSION" in capsys.readouterr().err
