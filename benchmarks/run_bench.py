@@ -33,6 +33,15 @@ baseline or when sharded results diverge from the serial run, and exits 1
 when apps/sec at any recorded shard count regresses more than
 ``--threshold``x. ``--corpus --update`` refreshes the block in place.
 
+``--profile`` re-runs one attribution-enabled analysis of the app the
+baseline's ``profile`` block recorded and validates the cost-attribution
+subsystem end to end: the block must carry all three pipeline stages, the
+collapsed-stack flamegraph export must parse back, and attribution
+coverage must not collapse below the recorded baseline (beyond
+``--coverage-slack``). Exit 2 on a malformed block or export — a broken
+profiler must never read as "no regressions" — and exit 1 on a coverage
+regression. ``--profile --update`` refreshes the block in place.
+
 The gate also runs one traced pipeline and validates the emitted Chrome
 trace-event JSON (required keys, monotonic per-track timestamps, balanced
 B/E pairs) — exit code 2 if the tracing subsystem ever emits a file
@@ -292,6 +301,123 @@ def corpus_gate(args) -> int:
     return 0
 
 
+#: keys every profile block must carry — a baseline or re-run missing one
+#: is malformed, not merely slow
+_PROFILE_KEYS = ("app", "stages", "coverage", "self_overhead_s",
+                 "flamegraph_stacks")
+
+
+def _validate_profile_block(block, label: str) -> list:
+    """Structural checks on a ``profile`` block; returns violation strings."""
+    from repro.obs.profile import STAGE_NAMES
+
+    violations = []
+    if not isinstance(block, dict):
+        return [f"{label}: profile block is not an object"]
+    for key in _PROFILE_KEYS:
+        if key not in block:
+            violations.append(f"{label}: profile block missing key {key!r}")
+    stages = block.get("stages")
+    if isinstance(stages, dict):
+        for stage in STAGE_NAMES:
+            record = stages.get(stage)
+            if not isinstance(record, dict):
+                violations.append(
+                    f"{label}: profile block missing stage {stage!r}")
+            elif not isinstance(record.get("seconds"), (int, float)):
+                violations.append(
+                    f"{label}: stage {stage!r} has no seconds measurement")
+    else:
+        violations.append(f"{label}: profile stages is not an object")
+    coverage = block.get("coverage")
+    if not isinstance(coverage, (int, float)) or not 0.0 <= coverage <= 1.0:
+        violations.append(
+            f"{label}: coverage {coverage!r} is not in [0, 1]")
+    stacks = block.get("flamegraph_stacks")
+    if not isinstance(stacks, int) or stacks <= 0:
+        violations.append(
+            f"{label}: flamegraph_stacks {stacks!r} is not a positive count")
+    return violations
+
+
+def profile_gate(args) -> int:
+    """Cost-attribution suite: profile-block schema + coverage gate.
+
+    Re-runs one attribution-enabled analysis of the app the baseline's
+    ``profile`` block recorded, re-exports and re-parses the collapsed
+    flamegraph stacks, and compares attribution coverage. Exit 2 when
+    either side's block is malformed or the flamegraph export cannot be
+    parsed back; exit 1 when coverage collapses below the recording by
+    more than ``--coverage-slack``. ``--update`` re-runs the full suite
+    (profile block included) and rewrites the baseline.
+    """
+    from repro.perf.bench import run_profile_bench
+
+    if args.update:
+        data = run_bench(out_path=str(args.baseline), corpus=True,
+                         profile=True)
+        block = data["profile"]
+        print(f"baseline updated: {args.baseline} (profile: "
+              f"{block['app']}, coverage {block['coverage']:.3f})")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with "
+              "--profile --update first", file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: baseline {args.baseline} is not valid JSON ({exc}); "
+              "run with --profile --update to regenerate it", file=sys.stderr)
+        return 2
+    base = baseline.get("profile")
+    if not base:
+        print(f"error: baseline {args.baseline} has no profile block; "
+              "run with --profile --update to record one", file=sys.stderr)
+        return 2
+    violations = _validate_profile_block(base, "baseline")
+    if violations:
+        print("MALFORMED PROFILE BASELINE:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        print("run with --profile --update to regenerate it", file=sys.stderr)
+        return 2
+
+    try:
+        # run_profile_bench round-trips the collapsed-stack export through
+        # parse_collapsed internally; a broken flamegraph surfaces here
+        current = run_profile_bench(app=base["app"])
+    except ValueError as exc:
+        print(f"MALFORMED FLAMEGRAPH EXPORT: {exc}", file=sys.stderr)
+        return 2
+    violations = _validate_profile_block(current, "current")
+    if violations:
+        print("MALFORMED PROFILE BLOCK:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 2
+
+    base_cov = float(base["coverage"])
+    cur_cov = float(current["coverage"])
+    print(f"{current['app']:18s} coverage={cur_cov:.3f} "
+          f"(recorded {base_cov:.3f}), "
+          f"self_overhead={current['self_overhead_s']:.4f}s, "
+          f"{current['flamegraph_stacks']} flamegraph stacks")
+    for stage, record in current["stages"].items():
+        print(f"  {stage:12s} {record['seconds']:.3f}s "
+              f"coverage={record.get('coverage', 0.0):.3f}")
+
+    if cur_cov < base_cov - args.coverage_slack:
+        print(f"\nATTRIBUTION COVERAGE COLLAPSE: {cur_cov:.3f} is more than "
+              f"{args.coverage_slack:g} below the recorded {base_cov:.3f}",
+              file=sys.stderr)
+        return 1
+    print(f"\nok: attribution coverage held at {cur_cov:.3f} "
+          f"(recorded {base_cov:.3f}), flamegraph export round-trips")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -320,9 +446,20 @@ def main(argv=None) -> int:
                         "parameters; exit 2 if recall drops below the "
                         "recording or sharded results diverge from serial, "
                         "exit 1 on a throughput regression")
+    parser.add_argument("--profile", action="store_true",
+                        help="re-run one attribution-enabled analysis of the "
+                        "baseline's recorded profile app; exit 2 on a "
+                        "malformed profile block or flamegraph export, "
+                        "exit 1 on an attribution-coverage collapse")
+    parser.add_argument("--coverage-slack", type=float, default=0.10,
+                        help="allowed absolute drop in attribution coverage "
+                        "vs the recorded baseline for --profile "
+                        "(default 0.10)")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
+    if args.profile:
+        return profile_gate(args)
     if args.corpus:
         return corpus_gate(args)
     if args.serve:
@@ -332,9 +469,9 @@ def main(argv=None) -> int:
     if args.history:
         return gate_against_history(args.history, args.threshold)
     if args.update:
-        # a full refresh keeps the corpus block too, so a plain --update
-        # never silently drops the sharded-corpus recording
-        run_bench(out_path=str(args.baseline), corpus=True)
+        # a full refresh keeps the corpus and profile blocks too, so a plain
+        # --update never silently drops either recording
+        run_bench(out_path=str(args.baseline), corpus=True, profile=True)
         print(f"baseline updated: {args.baseline} "
               f"({time.perf_counter() - started:.1f}s)")
         return 0

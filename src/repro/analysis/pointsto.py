@@ -23,6 +23,7 @@ signature:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
@@ -337,13 +338,20 @@ class PointerAnalysis:
 
     def _solve_passes(self) -> PointsToResult:
         changed = True
+        prof = obs.profile.active()
+        perf = time.perf_counter
         while changed and self.passes_run < self.MAX_PASSES:
             changed = False
             self.passes_run += 1
             with obs.span("pointsto.pass", n=self.passes_run) as sp:
                 for mc in list(self._reachable):
+                    t0 = perf() if prof is not None else 0.0
                     if self._process_method(mc):
                         changed = True
+                    if prof is not None:
+                        prof.charge_pointsto(
+                            mc.method.signature, mc.context, perf() - t0
+                        )
                 sp.set(reachable=len(self._reachable))
         obs.metrics.counter(
             "pointsto.passes", "whole-program passes to the points-to fixpoint"
@@ -368,6 +376,11 @@ class PointerAnalysis:
         replay_log = self.replay_log
         queue = self._queue
         round_no = 0
+        # attribution: when a profiler is active, each unit is timed and
+        # charged to its (method, context); when not, this is one local
+        # None-test per drain plus one branch per unit — no ids, no events
+        prof = obs.profile.active()
+        perf = time.perf_counter
         while queue:
             round_no += 1
             batch = len(queue)
@@ -379,6 +392,7 @@ class PointerAnalysis:
                     mc, index = unit
                     if replay_log is not None:
                         replay_log.append((mc.method.signature, index))
+                    t0 = perf() if prof is not None else 0.0
                     try:
                         if index is None:
                             self._process_method(mc)
@@ -387,6 +401,10 @@ class PointerAnalysis:
                             self._process_instruction(mc, index, mc.method.body[index])
                     finally:
                         self._current = None
+                        if prof is not None:
+                            prof.charge_pointsto(
+                                mc.method.signature, mc.context, perf() - t0
+                            )
         obs.metrics.counter(
             "pointsto.worklist_iterations", "delta-worklist units processed"
         ).inc(self.worklist_iterations - before)

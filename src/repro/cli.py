@@ -327,6 +327,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one app with cost attribution on and render the results."""
+    from repro.obs import profile as profile_mod
+
+    apk = load_app(args.app)
+    options = _options_from(args)
+    options.profile = True
+    started = time.monotonic()
+    result = Sierra(options).analyze(apk)
+    elapsed = time.monotonic() - started
+    summary = result.profile or {}
+
+    history = _history_path(args)
+    if history:
+        from repro.obs.history import KIND_ANALYZE, RunLedger
+
+        with RunLedger(history) as ledger:
+            run_id = ledger.begin_run(
+                KIND_ANALYZE, dataclasses.asdict(options), meta={"app": apk.name}
+            )
+            ledger.record_analysis(run_id, apk.name, result, elapsed_s=elapsed)
+        print(f"recorded run {run_id} in {history}", file=sys.stderr)
+
+    if args.flamegraph:
+        text = profile_mod.collapsed_stacks(summary)
+        profile_mod.parse_collapsed(text)  # refuse to write a broken export
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(
+            f"wrote {args.flamegraph} ({len(text.splitlines())} stacks; "
+            "feed to flamegraph.pl or speedscope)",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    print(profile_mod.format_summary(summary, top=args.top))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.cache import cache_dir_from_env
     from repro.obs.history import LedgerError
@@ -357,6 +401,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             corpus_count=args.corpus_count,
             corpus_seed=args.corpus_seed,
             corpus_shards=args.corpus_shards,
+            profile=args.profile,
         )
     except LedgerError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -481,6 +526,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"\nwrote {args.out}")
             return 2
         print("warm/cold equivalence: identical fingerprints and verdicts")
+    profile_block = data.get("profile")
+    if profile_block:
+        print(
+            f"\nprofile ({profile_block['app']}): coverage "
+            f"{float(profile_block['coverage']):.1%}, self-overhead "
+            f"{float(profile_block['self_overhead_s']):.4f}s, "
+            f"{profile_block['flamegraph_stacks']} flamegraph stacks"
+        )
+        for kind in ("pointsto.method", "hb.rule", "refute.field"):
+            rows = profile_block.get("top_units", {}).get(kind, [])
+            if rows:
+                top = rows[0]
+                print(f"  top {kind}: {top['name']} ({top['seconds']:.4f}s)")
     if args.out:
         print(f"\nwrote {args.out}")
     return 0
@@ -981,6 +1039,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_history_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="run the pipeline with cost attribution: per-method/field/rule "
+        "top-K tables, --json schema, --flamegraph collapsed stacks",
+    )
+    profile_p.add_argument("app")
+    profile_p.add_argument("--top", type=int, default=10,
+                           help="rows per attribution table (default 10)")
+    profile_p.add_argument("--json", action="store_true",
+                           help="emit the attribution summary as JSON")
+    profile_p.add_argument("--flamegraph", metavar="PATH", default=None,
+                           help="write collapsed stacks consumable by "
+                           "flamegraph.pl / speedscope")
+    add_analysis_flags(profile_p)
+    add_history_flag(profile_p)
+    profile_p.set_defaults(func=cmd_profile)
+
     explain = sub.add_parser(
         "explain",
         help="print the evidence tree for one reported race "
@@ -1108,6 +1183,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--corpus-shards", type=int, nargs="*", default=None,
                        help="shard counts to sweep for --corpus "
                        "(default: 1 2 4 and the core count)")
+    bench.add_argument("--profile", action="store_true",
+                       help="also run one attribution-enabled analysis of "
+                       "the speedup app: coverage, self-overhead, top "
+                       "attributed units under 'profile'")
     add_history_flag(bench)
     bench.set_defaults(func=cmd_bench)
 

@@ -61,6 +61,10 @@ class SierraOptions:
     #: BackDroid-style targeted query: slice racy-pair enumeration and
     #: refutation to candidates on this field signature only
     only_field: Optional[str] = None
+    #: attribute wall time / iterations / memory to methods, contexts,
+    #: fields, HB rules, and refutation candidates (repro.obs.profile);
+    #: off by default — the disabled path installs no hooks at all
+    profile: bool = False
 
 
 @dataclass
@@ -73,6 +77,9 @@ class SierraResult:
     racy_pairs: List[RacyPair]
     surviving: List[RacyPair]
     harness: HarnessModel
+    #: attribution summary (repro.obs.profile schema) when
+    #: SierraOptions.profile was set; None otherwise
+    profile: Optional[dict] = None
 
 
 class Sierra:
@@ -87,14 +94,24 @@ class Sierra:
         report = SierraReport(app=apk.name)
         obs.metrics.reset_run()  # one scrape window per analyze()
 
+        profiler = None
+        if opts.profile:
+            profiler = obs.profile.Profiler()
+            obs.profile.install(profiler)
+
         cache = None
         if opts.cache_dir:
             from repro.cache import SubstrateCache
 
             cache = SubstrateCache(opts.cache_dir)
         try:
-            return self._analyze(apk, report, cache)
+            result = self._analyze(apk, report, cache)
+            if profiler is not None:
+                result.profile = profiler.summary(app=apk.name)
+            return result
         finally:
+            if profiler is not None:
+                obs.profile.uninstall(profiler)
             if cache is not None:
                 cache.close()
 
@@ -106,7 +123,8 @@ class Sierra:
             # the lookup digests the pre-harness program, so it must run
             # inside this stage's timing, before generate_harnesses
             if cache is not None:
-                outcome = cache.lookup(apk, opts)
+                with obs.span("cache.lookup"):
+                    outcome = cache.lookup(apk, opts)
             if outcome is not None and outcome.hit:
                 # warm: the bundle's apk (it carries the harness classes and
                 # every object the extraction references) replaces the input
@@ -123,7 +141,8 @@ class Sierra:
                     harness = outcome.seed.harness
                     phase_a_seed = outcome.seed.phase_a_seed
                 else:
-                    harness = generate_harnesses(apk)
+                    with obs.span("extract.harness"):
+                        harness = generate_harnesses(apk)
                 selector = make_selector(opts.selector, opts.k)
                 extraction = extract_actions(
                     apk,

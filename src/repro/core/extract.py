@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.analysis.callgraph import CallEdge, CallGraph, MethodContext
 from repro.analysis.context import ActionSensitiveSelector, ContextSelector, InsensitiveSelector
 from repro.analysis.pointsto import (
@@ -107,41 +108,46 @@ class ActionExtractor:
     def extract(self) -> Extraction:
         ext = Extraction(apk=self.apk, harness=self.harness, selector=self.selector)
 
-        if self.phase_a_seed is not None:
-            analysis, invalidated = self.phase_a_seed
-            phase_a = analysis.resume(invalidated)
-        else:
-            analysis = PointerAnalysis(
-                self.apk.program,
-                self.harness.entries,
-                selector=InsensitiveSelector(),
-                layouts=self.apk.layouts,
-                dispatch_table=self.harness.dispatch_table,
-                index_sensitive_arrays=self.index_sensitive_arrays,
-                solver=self.solver,
-            )
-            phase_a = analysis.solve()
+        with obs.span("extract.phaseA"):
+            if self.phase_a_seed is not None:
+                analysis, invalidated = self.phase_a_seed
+                phase_a = analysis.resume(invalidated)
+            else:
+                analysis = PointerAnalysis(
+                    self.apk.program,
+                    self.harness.entries,
+                    selector=InsensitiveSelector(),
+                    layouts=self.apk.layouts,
+                    dispatch_table=self.harness.dispatch_table,
+                    index_sensitive_arrays=self.index_sensitive_arrays,
+                    solver=self.solver,
+                )
+                phase_a = analysis.solve()
         ext.phase_a = phase_a
         ext.phase_a_analysis = analysis if self.solver == "worklist" else None
 
-        self._collect_event_actions(ext, phase_a)
-        self._collect_posted_actions(ext, phase_a)
-        self._attach_marker_parents(ext)
+        with obs.span("extract.actions"):
+            self._collect_event_actions(ext, phase_a)
+            self._collect_posted_actions(ext, phase_a)
+            self._attach_marker_parents(ext)
 
-        result = PointerAnalysis(
-            self.apk.program,
-            self.harness.entries,
-            selector=self.selector,
-            layouts=self.apk.layouts,
-            dispatch_table=self.harness.dispatch_table,
-            action_resolver=ext.resolver,
-            index_sensitive_arrays=self.index_sensitive_arrays,
-            solver=self.solver,
-        ).solve()
+        with obs.span("extract.phaseC"):
+            result = PointerAnalysis(
+                self.apk.program,
+                self.harness.entries,
+                selector=self.selector,
+                layouts=self.apk.layouts,
+                dispatch_table=self.harness.dispatch_table,
+                action_resolver=ext.resolver,
+                index_sensitive_arrays=self.index_sensitive_arrays,
+                solver=self.solver,
+            ).solve()
         ext.result = result
 
-        self._compute_membership_final(ext, result)
-        self._compute_affinity(ext, result)
+        with obs.span("extract.membership"):
+            self._compute_membership_final(ext, result)
+        with obs.span("extract.affinity"):
+            self._compute_affinity(ext, result)
         return ext
 
     # ------------------------------------------------------------------

@@ -128,6 +128,9 @@ class RunReport:
     #: per-shard SierraOptions.parallelism after the core budget (None:
     #: the user's setting rode through unchanged)
     effective_parallelism: Optional[int] = None
+    #: calibrated-cost-model block when a ledger supplied prior
+    #: observations: apps known, fitted scale, prediction error
+    cost_model: Optional[Dict[str, object]] = None
 
     def by_status(self, status: str) -> List[AppRunRecord]:
         return [r for r in self.records if r.status == status]
@@ -159,6 +162,7 @@ class RunReport:
             "history": self.history_path,
             "shards": self.shards,
             "effective_parallelism": self.effective_parallelism,
+            "cost_model": self.cost_model,
             "apps": {r.app: r.to_dict() for r in self.records},
             "summary": self.summary(),
         }
@@ -216,6 +220,11 @@ def _execute_app(
         apk = load_app(name)
         result = Sierra(SierraOptions(**options_dict)).analyze(apk)
     report = result.report
+    metrics_blob = metrics.registry().collect()
+    if result.profile:
+        # reserved key: profiled batches ship their attribution summary
+        # with the metrics so the ledger (and repro diff blame) sees it
+        metrics_blob["profile"] = result.profile
     return {
         "status": STATUS_DEGRADED if recorder.degraded else STATUS_OK,
         "stages": collect_stage_timings(result),
@@ -230,7 +239,7 @@ def _execute_app(
         # ledger rows, computed here where the report objects live: the
         # parent records them without re-running the analysis
         "races": [race_row(r) for r in report.reports],
-        "metrics": metrics.registry().collect(),
+        "metrics": metrics_blob,
     }
 
 
@@ -616,6 +625,46 @@ def run_corpus_remote(
     return report
 
 
+def _cost_model_block(cost_model, names, predictions) -> Dict[str, object]:
+    """JSON block + registry histogram for the calibrated cost model.
+
+    The ``corpus.cost_model.predicted_vs_actual`` histogram observes the
+    calibrated model's relative prediction error per completed app; the
+    block also scores the *static* model on the same apps, so a bench or
+    test can verify calibration tightened prediction error instead of
+    taking it on faith.
+    """
+    from repro.obs import metrics
+
+    block: Dict[str, object] = {
+        "calibrated_apps": sum(1 for n in names if cost_model.knows(n)),
+        "scale_s_per_cost": round(cost_model.scale_s_per_cost, 6),
+        "blend": cost_model.blend,
+    }
+    if predictions:
+        hist = metrics.histogram(
+            "corpus.cost_model.predicted_vs_actual",
+            "relative error |predicted - actual| / actual of the calibrated "
+            "scheduler cost model",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0),
+        )
+        calibrated_errs = []
+        static_errs = []
+        for predicted, static_predicted, actual in predictions:
+            err = abs(predicted - actual) / actual
+            hist.observe(err)
+            calibrated_errs.append(err)
+            static_errs.append(abs(static_predicted - actual) / actual)
+        block["predictions"] = len(predictions)
+        block["mean_abs_rel_err"] = round(
+            sum(calibrated_errs) / len(calibrated_errs), 4
+        )
+        block["static_mean_abs_rel_err"] = round(
+            sum(static_errs) / len(static_errs), 4
+        )
+    return block
+
+
 def run_corpus(
     apps: Optional[Sequence[str]] = None,
     options=None,
@@ -701,6 +750,30 @@ def run_corpus(
         # must fail the batch up front, not after 20 apps of work
         ledger = RunLedger(history)
 
+    from repro.corpus.families import estimate_cost
+    from repro.corpus.specs import CalibratedCostModel
+
+    static_costs = {name: estimate_cost(name) for name in names}
+    # when the ledger has prior observations, binpacking and the ETA use
+    # observed cost blended with the static estimate; a cold ledger (or
+    # none) degrades to the static model unchanged
+    cost_model = None
+    if ledger is not None:
+        model = CalibratedCostModel.from_ledger(ledger, estimate_cost)
+        if model.calibrated:
+            cost_model = model
+    predictions: List[tuple] = []  # (calibrated_s, static_s, actual_s)
+
+    def observe_prediction(record: AppRunRecord) -> None:
+        if cost_model is None or not record.ok or record.elapsed_s <= 0:
+            return
+        static = static_costs.get(record.app, 0.0)
+        predicted = cost_model.predict_seconds(record.app, static)
+        if predicted:
+            predictions.append(
+                (predicted, cost_model.scale_s_per_cost * static, record.elapsed_s)
+            )
+
     run = RunReport(
         timeout_s=timeout_s,
         isolated=mp_context is not None,
@@ -735,7 +808,6 @@ def run_corpus(
 
         if mp_context is not None:
             from repro.corpus import scheduler as sched
-            from repro.corpus.families import estimate_cost
 
             requested = int(options_dict.get("parallelism") or 1)
             effective_options = options_dict
@@ -748,7 +820,11 @@ def run_corpus(
                 sched.WorkItem(
                     index=i,
                     name=name,
-                    cost=estimate_cost(name),
+                    cost=(
+                        cost_model.cost(name, static_costs[name])
+                        if cost_model is not None
+                        else static_costs[name]
+                    ),
                     inject_fail=name in inject_fail,
                     inject_hang_s=hang_s if name in inject_hang else 0.0,
                     inject_cache_corrupt=name in inject_cache_corrupt,
@@ -769,6 +845,8 @@ def run_corpus(
                     with ledger.batch():
                         for record in batch:
                             ledger_app(record)
+                for record in batch:
+                    observe_prediction(record)
                 if progress is not None:
                     for record in batch:
                         progress(record)
@@ -799,9 +877,14 @@ def run_corpus(
                 run.records.append(record)
                 if ledger is not None:
                     ledger_app(record)
+                observe_prediction(record)
                 if progress is not None:
                     progress(record)
         run.elapsed_s = time.perf_counter() - t0
+        if cost_model is not None:
+            run.cost_model = _cost_model_block(
+                cost_model, names, predictions
+            )
         obs_log.event(_log, "corpus.finish", run_id=run.run_id, **run.summary())
         if ledger is not None:
             ledger.record_app(

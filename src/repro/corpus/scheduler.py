@@ -5,9 +5,14 @@ throughput was bounded by a single analysis no matter how many cores the
 machine had. This module replaces that loop with a persistent pool of
 ``shards`` worker processes fed by the parent from a size-aware plan:
 
-* **Binpacking (LPT):** apps are ranked by :func:`~repro.corpus.families.
-  estimate_cost` and assigned largest-first to the least-loaded shard, so
-  the expensive tail starts early instead of straggling at the end.
+* **Binpacking (LPT):** apps are ranked by predicted cost and assigned
+  largest-first to the least-loaded shard, so the expensive tail starts
+  early instead of straggling at the end. The driver prices each
+  :class:`WorkItem` with :func:`~repro.corpus.families.estimate_cost`,
+  blended with observed per-app wall time from the run-history ledger
+  when one is attached (:class:`repro.corpus.specs.CalibratedCostModel`)
+  — both the bin assignment and the ``--progress`` ETA consume the
+  calibrated costs, and a cold ledger falls back to the static estimate.
 * **Work stealing:** a shard that drains its own deque steals from the
   *tail* of the most-loaded remaining shard — the cheapest item of the
   busiest bin, the classic steal that keeps the plan's locality while

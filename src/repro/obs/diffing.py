@@ -118,6 +118,44 @@ def _diff_races(diff: RunDiff, races_a, races_b) -> None:
     diff.fixed_races.extend(race for key, race in by_a.items() if key not in by_b)
 
 
+#: which attribution kinds explain which stage (regression blame)
+_BLAME_KINDS = {
+    "cg_pa": ("pointsto.method", "extract.phase"),
+    "hbg": ("hb.rule",),
+    "refutation": ("refute.field",),
+}
+#: top-N blamed units attached per regressed stage
+BLAME_TOP = 3
+
+
+def _profile_units(record: Dict[str, object]) -> Optional[Dict[str, list]]:
+    """The per-unit attribution tables of one app record, when the run
+    was profiled (``repro profile`` / ``SierraOptions.profile``)."""
+    prof = record.get("metrics", {}).get("profile")  # type: ignore[union-attr]
+    if not isinstance(prof, dict):
+        return None
+    units = prof.get("units")
+    return units if isinstance(units, dict) else None
+
+
+def _blame(stage: str, units_a, units_b) -> List[Dict[str, object]]:
+    """Which semantic units got slower: per-unit second deltas between
+    two attribution tables, largest first."""
+    rows: List[Dict[str, object]] = []
+    for kind in _BLAME_KINDS.get(stage, ()):
+        before = {
+            str(r.get("name")): float(r.get("seconds", 0.0))
+            for r in units_a.get(kind, [])
+        }
+        for row in units_b.get(kind, []):
+            name = str(row.get("name"))
+            delta = float(row.get("seconds", 0.0)) - before.get(name, 0.0)
+            if delta > 0.0:
+                rows.append({"kind": kind, "unit": name, "delta_s": round(delta, 4)})
+    rows.sort(key=lambda r: r["delta_s"], reverse=True)  # type: ignore[arg-type,return-value]
+    return rows[:BLAME_TOP]
+
+
 def _diff_stages(
     diff: RunDiff, apps_a, apps_b, time_threshold: float, time_floor: float
 ) -> None:
@@ -130,17 +168,22 @@ def _diff_stages(
             ratio = b / a if a else (float("inf") if b else 1.0)
             regression = b > max(a, time_floor) * (1.0 + time_threshold)
             if regression or abs(delta) > max(a, time_floor) * time_threshold:
-                diff.stage_deltas.append(
-                    {
-                        "app": app,
-                        "stage": stage,
-                        "a_s": round(a, 4),
-                        "b_s": round(b, 4),
-                        "delta_s": round(delta, 4),
-                        "ratio": round(ratio, 3),
-                        "regression": regression,
-                    }
-                )
+                entry = {
+                    "app": app,
+                    "stage": stage,
+                    "a_s": round(a, 4),
+                    "b_s": round(b, 4),
+                    "delta_s": round(delta, 4),
+                    "ratio": round(ratio, 3),
+                    "regression": regression,
+                }
+                units_a = _profile_units(apps_a[app])
+                units_b = _profile_units(apps_b[app])
+                if units_a is not None and units_b is not None:
+                    blame = _blame(stage, units_a, units_b)
+                    if blame:
+                        entry["blame"] = blame
+                diff.stage_deltas.append(entry)
 
 
 def _metric_scalar(entry: object):
@@ -290,6 +333,11 @@ def render_diff(diff: RunDiff) -> str:
                 f"  [{marker}] {d['app']}/{d['stage']}: "
                 f"{d['a_s']:.3f}s -> {d['b_s']:.3f}s ({d['ratio']:.2f}x)"
             )
+            for blame in d.get("blame", []):
+                lines.append(
+                    f"      blame: {blame['kind']} {blame['unit']} "
+                    f"+{blame['delta_s']:.3f}s"
+                )
     else:
         lines.append("\nstage timings: no deltas beyond the noise threshold")
 

@@ -602,6 +602,40 @@ def run_corpus_bench(
     }
 
 
+def run_profile_bench(app: str = SPEEDUP_APP) -> Dict[str, object]:
+    """One profiled pipeline run — the BENCH record's ``profile`` block.
+
+    Runs ``app`` with cost attribution enabled
+    (:mod:`repro.obs.profile`), verifies the collapsed-stack export
+    parses back (a broken flamegraph must fail the bench, not the
+    operator's flamegraph.pl invocation later), and distills the
+    summary: per-stage coverage, measured self-overhead, and the top
+    attributed units per kind.
+    """
+    from repro.obs import profile as profile_mod
+
+    record, result = _bench_app_result(app, SierraOptions(profile=True))
+    summary = result.profile or {}
+    flame_text = profile_mod.collapsed_stacks(summary)
+    flame_rows = profile_mod.parse_collapsed(flame_text)  # must round-trip
+    top_units = {
+        kind: [
+            {"name": row["name"], "seconds": row["seconds"]} for row in rows[:5]
+        ]
+        for kind, rows in summary.get("units", {}).items()
+    }
+    return {
+        "app": app,
+        "stages": summary.get("stages", {}),
+        "coverage": summary.get("coverage", 0.0),
+        "self_overhead_s": summary.get("self_overhead_s", 0.0),
+        "elapsed_s": round(record["stages"].get("total", 0.0), 4),
+        "flamegraph_stacks": len(flame_rows),
+        "top_units": top_units,
+        "cache": summary.get("cache", {}),
+    }
+
+
 # ----------------------------------------------------------------------
 # driver + regression gate
 # ----------------------------------------------------------------------
@@ -621,6 +655,8 @@ def run_bench(
     corpus_seed: int = 0,
     corpus_shards: Optional[Sequence[int]] = None,
     corpus_max_size: int = 2,
+    profile: bool = False,
+    profile_app: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the full bench suite; write and return the BENCH record.
 
@@ -645,6 +681,11 @@ def run_bench(
     attaches apps/sec per shard count, scaling efficiency, sharded-vs-
     serial equivalence and ground-truth recall/precision under
     ``"corpus"``.
+
+    ``profile=True`` additionally runs :func:`run_profile_bench` — one
+    attribution-enabled run of ``profile_app`` (default: the speedup
+    app) — and attaches coverage, self-overhead, flamegraph stack count
+    and top attributed units under ``"profile"``.
     """
     if warm and not cache_dir:
         raise ValueError("warm bench requires a cache directory")
@@ -699,6 +740,10 @@ def run_bench(
             seed=corpus_seed,
             shard_counts=corpus_shards,
             max_size=corpus_max_size,
+        )
+    if profile:
+        data["profile"] = run_profile_bench(
+            profile_app or speedup_app or SPEEDUP_APP
         )
     if ledger is not None:
         try:

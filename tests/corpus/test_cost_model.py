@@ -1,0 +1,123 @@
+"""Calibrated cost model: fitting, blending, cold-ledger fallback, and
+the scheduler feedback loop through ``run_corpus``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.driver import run_corpus
+from repro.corpus.families import estimate_cost
+from repro.corpus.specs import DEFAULT_BLEND, CalibratedCostModel
+from repro.obs.history import KIND_ANALYZE, RunLedger
+
+#: small, fast family apps with prior-observable names
+APPS = [
+    "family:mesh:0:1",
+    "family:storm:0:1",
+    "family:lifecycle:1:1",
+    "family:chain:0:2",
+]
+
+
+class TestFit:
+    def test_median_ratio_scale_and_blend(self):
+        model = CalibratedCostModel.fit(
+            observed_s={"a": 2.0, "b": 4.0}, static_costs={"a": 1000.0, "b": 2000.0}
+        )
+        assert model.calibrated
+        assert model.scale_s_per_cost == pytest.approx(0.002)
+        # both apps sit exactly on the fitted line, so blending observed
+        # with static returns the static cost unchanged
+        assert model.cost("a", 1000.0) == pytest.approx(1000.0)
+        assert model.predict_seconds("a", 1000.0) == pytest.approx(2.0)
+
+    def test_blend_weights_observed_versus_static(self):
+        # observed says "a" is 2x its static estimate
+        observed = {"a": 4.0, "b": 2.0}
+        static = {"a": 2000.0, "b": 2000.0}
+        pure_observed = CalibratedCostModel.fit(observed, static, blend=1.0)
+        scale = pure_observed.scale_s_per_cost
+        assert pure_observed.cost("a", 2000.0) == pytest.approx(4.0 / scale)
+        default = CalibratedCostModel.fit(observed, static)
+        expected = DEFAULT_BLEND * (4.0 / scale) + (1 - DEFAULT_BLEND) * 2000.0
+        assert default.cost("a", 2000.0) == pytest.approx(expected)
+
+    def test_unknown_app_falls_back_to_static(self):
+        model = CalibratedCostModel.fit({"a": 2.0}, {"a": 1000.0})
+        assert not model.knows("zzz")
+        assert model.cost("zzz", 777.0) == 777.0
+
+    def test_median_is_robust_to_a_timeout_outlier(self):
+        observed = {"a": 1.0, "b": 2.0, "c": 500.0}  # c hung near a timeout
+        static = {"a": 1000.0, "b": 2000.0, "c": 1000.0}
+        model = CalibratedCostModel.fit(observed, static)
+        assert model.scale_s_per_cost == pytest.approx(0.001)
+
+    def test_empty_fit_is_uncalibrated(self):
+        model = CalibratedCostModel.fit({}, {})
+        assert not model.calibrated
+        assert model.cost("a", 42.0) == 42.0
+        assert model.predict_seconds("a", 42.0) is None
+
+
+class TestRecentAppCosts:
+    def test_newest_wins_and_failures_are_skipped(self, tmp_path):
+        db = str(tmp_path / "h.db")
+        with RunLedger(db) as ledger:
+            run1 = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run1, "app-a", "ok", elapsed_s=5.0)
+            ledger.record_app(run1, "app-b", "error", elapsed_s=9.0)
+            run2 = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run2, "app-a", "ok", elapsed_s=3.0)
+            ledger.record_app(run2, "app-c", "degraded", elapsed_s=1.5)
+            ledger.record_app(run2, "*", "ok", elapsed_s=99.0)  # aggregate row
+            ledger.record_app(run2, "app-d", "ok", elapsed_s=0.0)  # no signal
+            observed = ledger.recent_app_costs()
+        assert observed == {"app-a": 3.0, "app-c": 1.5}
+
+    def test_cold_ledger_yields_uncalibrated_model(self, tmp_path):
+        db = str(tmp_path / "cold.db")
+        with RunLedger(db) as ledger:
+            model = CalibratedCostModel.from_ledger(ledger, estimate_cost)
+        assert not model.calibrated
+        # scheduler falls back to the static estimate, unchanged
+        assert model.cost("family:mesh:0:1", 123.0) == 123.0
+
+
+@pytest.mark.corpus_smoke
+class TestSchedulerFeedbackLoop:
+    def test_second_run_is_calibrated_and_reports_prediction_error(self, tmp_path):
+        db = str(tmp_path / "costs.db")
+        out1 = tmp_path / "run1.json"
+        out2 = tmp_path / "run2.json"
+        first = run_corpus(APPS, history=db, shards=2, isolate=False,
+                           out_path=str(out1))
+        assert all(r.status == "ok" for r in first.records)
+        # cold ledger: no calibration block, static costs only
+        assert first.cost_model is None
+
+        second = run_corpus(APPS, history=db, shards=2, isolate=False,
+                            out_path=str(out2))
+        block = second.cost_model
+        assert block is not None
+        assert block["calibrated_apps"] == len(APPS)
+        assert block["scale_s_per_cost"] > 0.0
+        assert block["blend"] == DEFAULT_BLEND
+        assert block["predictions"] == len(APPS)
+        assert block["mean_abs_rel_err"] >= 0.0
+        # the block survives the JSON report round-trip
+        report = json.loads(out2.read_text())
+        assert report["cost_model"]["calibrated_apps"] == len(APPS)
+
+    def test_prediction_error_histogram_is_minted(self, tmp_path):
+        from repro.obs import metrics
+
+        db = str(tmp_path / "hist.db")
+        run_corpus(APPS[:2], history=db, isolate=False)
+        run_corpus(APPS[:2], history=db, isolate=False)
+        collected = metrics.registry().collect()
+        entry = collected.get("corpus.cost_model.predicted_vs_actual")
+        assert entry is not None and entry["type"] == "histogram"
+        assert entry["count"] == 2

@@ -69,6 +69,84 @@ class TestInjectedRaceEndToEnd:
         # reversed, the same race reads as fixed and the gate passes
         assert main(["diff", run_b, run_a, "--gate", "--history", db]) == 0
 
+
+def _profile_blob(method_s, rule_s, field_s):
+    """Minimal attribution summary as record_analysis persists it."""
+    return {
+        "units": {
+            "pointsto.method": [
+                {"name": "Lcom/foo/Bar;->baz", "seconds": method_s, "count": 4}
+            ],
+            "extract.phase": [
+                {"name": "extract.phaseA", "seconds": method_s / 2, "count": 1}
+            ],
+            "hb.rule": [
+                {"name": "R6-transitivity", "seconds": rule_s, "count": 9}
+            ],
+            "refute.field": [
+                {"name": "mAccount", "seconds": field_s, "count": 2}
+            ],
+        }
+    }
+
+
+class TestRegressionBlame:
+    """A doctored ledger pair: run B is slower in every stage, and the
+    per-unit attribution summaries name exactly which unit got slower —
+    the diff must surface the unit, not just the stage."""
+
+    @pytest.fixture()
+    def blame_pair(self, tmp_path):
+        from repro.obs.history import RunLedger
+
+        db = str(tmp_path / "blame.db")
+        with RunLedger(db) as ledger:
+            run_a = ledger.begin_run(KIND_ANALYZE, {"k": 2})
+            ledger.record_app(
+                run_a, "slowapp", "ok", elapsed_s=1.0,
+                stages={"cg_pa": 0.5, "hbg": 0.2, "refutation": 0.3},
+                metrics={"profile": _profile_blob(0.4, 0.15, 0.25)},
+            )
+            run_b = ledger.begin_run(KIND_ANALYZE, {"k": 2})
+            ledger.record_app(
+                run_b, "slowapp", "ok", elapsed_s=1.9,
+                stages={"cg_pa": 0.9, "hbg": 0.5, "refutation": 0.5},
+                metrics={"profile": _profile_blob(0.74, 0.44, 0.45)},
+            )
+        return db, run_a, run_b
+
+    def test_blame_names_the_regressed_unit_per_stage(self, blame_pair):
+        db, run_a, run_b = blame_pair
+        with RunLedger(db) as ledger:
+            diff = diff_runs(ledger, run_a, run_b)
+        by_stage = {d["stage"]: d for d in diff.stage_deltas}
+        assert by_stage["cg_pa"]["blame"][0] == {
+            "kind": "pointsto.method",
+            "unit": "Lcom/foo/Bar;->baz",
+            "delta_s": pytest.approx(0.34),
+        }
+        assert by_stage["hbg"]["blame"][0]["unit"] == "R6-transitivity"
+        assert by_stage["refutation"]["blame"][0]["unit"] == "mAccount"
+
+    def test_render_prints_blame_lines(self, blame_pair):
+        db, run_a, run_b = blame_pair
+        with RunLedger(db) as ledger:
+            text = render_diff(diff_runs(ledger, run_a, run_b))
+        assert "blame: pointsto.method Lcom/foo/Bar;->baz +0.340s" in text
+
+    def test_unprofiled_runs_diff_without_blame(self, tmp_path):
+        from repro.obs.history import RunLedger
+
+        db = str(tmp_path / "plain.db")
+        with RunLedger(db) as ledger:
+            run_a = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_a, "app", "ok", 1.0, stages={"cg_pa": 0.5})
+            run_b = ledger.begin_run(KIND_ANALYZE, {})
+            ledger.record_app(run_b, "app", "ok", 2.0, stages={"cg_pa": 1.5})
+            diff = diff_runs(ledger, run_a, run_b)
+        (delta,) = diff.stage_deltas
+        assert delta["regression"] and "blame" not in delta
+
     def test_json_output_round_trips(self, injected_pair, capsys):
         import json
 

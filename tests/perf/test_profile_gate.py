@@ -1,0 +1,120 @@
+"""The bench ``profile`` block and its regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import run_profile_bench
+
+_GATE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("profile_gate_mod", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def block():
+    """One real profile bench on a small app, shared by the module."""
+    return run_profile_bench(app="quickstart")
+
+
+def _baseline_file(tmp_path, block):
+    path = tmp_path / "BENCH_pipeline.json"
+    path.write_text(json.dumps({"apps": {}, "profile": block}))
+    return path
+
+
+@pytest.mark.profile_smoke
+class TestProfileBenchBlock:
+    def test_block_shape(self, block):
+        assert block["app"] == "quickstart"
+        assert set(block["stages"]) == {"cg_pa", "hbg", "refutation"}
+        assert 0.0 <= block["coverage"] <= 1.0
+        assert block["flamegraph_stacks"] > 0
+        assert block["self_overhead_s"] >= 0.0
+        for kind in ("pointsto.method", "hb.rule"):
+            assert block["top_units"][kind], kind
+
+    def test_block_is_json_serializable(self, block):
+        json.dumps(block)
+
+
+@pytest.mark.profile_smoke
+class TestProfileGate:
+    def test_missing_profile_block_is_exit_two(self, gate, tmp_path, capsys):
+        path = tmp_path / "no_profile.json"
+        path.write_text(json.dumps({"apps": {}}))
+        assert gate.main(["--profile", "--baseline", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "no profile block" in err and "--profile --update" in err
+
+    def test_missing_baseline_file_is_exit_two(self, gate, tmp_path, capsys):
+        path = tmp_path / "absent.json"
+        assert gate.main(["--profile", "--baseline", str(path)]) == 2
+        assert "--profile --update" in capsys.readouterr().err
+
+    def test_malformed_block_is_exit_two(self, gate, tmp_path, block, capsys):
+        doctored = json.loads(json.dumps(block))
+        del doctored["stages"]["hbg"]
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--profile", "--baseline", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "missing stage 'hbg'" in err
+
+    def test_garbage_coverage_is_exit_two(self, gate, tmp_path, block, capsys):
+        doctored = json.loads(json.dumps(block))
+        doctored["coverage"] = "high"
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--profile", "--baseline", str(path)]) == 2
+        assert "not in [0, 1]" in capsys.readouterr().err
+
+    def test_healthy_rerun_passes(self, gate, tmp_path, block, capsys):
+        # floor the recorded coverage so a loaded CI box can only pass
+        # or fail on structure, not on timing noise
+        doctored = json.loads(json.dumps(block))
+        doctored["coverage"] = 0.0
+        path = _baseline_file(tmp_path, doctored)
+        assert gate.main(["--profile", "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flamegraph export round-trips" in out
+
+    def test_coverage_collapse_is_exit_one(self, gate, tmp_path, block, capsys):
+        doctored = json.loads(json.dumps(block))
+        doctored["coverage"] = 1.0
+        path = _baseline_file(tmp_path, doctored)
+        code = gate.main(["--profile", "--baseline", str(path),
+                          "--coverage-slack", "0.000001"])
+        assert code == 1
+        assert "ATTRIBUTION COVERAGE COLLAPSE" in capsys.readouterr().err
+
+
+@pytest.mark.profile_smoke
+class TestProfileCli:
+    def test_profile_command_writes_json_and_flamegraph(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.profile import parse_collapsed
+
+        flame = tmp_path / "out.txt"
+        assert main(["profile", "quickstart", "--json",
+                     "--flamegraph", str(flame)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["app"] == "quickstart"
+        assert summary["coverage"] > 0.0
+        rows = parse_collapsed(flame.read_text())
+        assert rows and rows[0][0][0] == "sierra"
+
+    def test_profile_command_renders_tables(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "quickstart", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "points-to cost by method" in out
